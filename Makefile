@@ -1,0 +1,41 @@
+# LightDAG reproduction — developer entry points.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples table1 figs clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/byzantine_equivocation.py
+	$(PYTHON) examples/kv_store.py
+	$(PYTHON) examples/wan_prototype.py
+	$(PYTHON) examples/smr_service.py
+
+table1:
+	$(PYTHON) -m repro table1
+
+figs:
+	$(PYTHON) -m repro fig 12 --small
+	$(PYTHON) -m repro fig 13 --small
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

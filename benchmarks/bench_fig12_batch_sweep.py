@@ -1,0 +1,64 @@
+"""Fig. 12: throughput (a) and latency (b) vs batch size, favorable case.
+
+Paper setting: n ∈ {7, 22}, batch size 100 → 1000, 128-byte transactions.
+Headline claims under reproduction (§VI-B):
+
+* both LightDAG variants beat Tusk and Bullshark at every point;
+* at n=22, batch=1000: LightDAG1/LightDAG2 ≈ 1.69×/1.91× Tusk's
+  throughput and 41%/45% lower latency;
+* throughput rises then saturates with batch size; latency keeps rising.
+"""
+
+import pytest
+
+from repro.harness.experiments import batch_size_sweep
+from repro.harness.report import render_series, series_by_protocol
+
+from .conftest import save_report
+
+
+def test_fig12_batch_size_sweep(benchmark, axes, results_dir):
+    results = benchmark.pedantic(
+        batch_size_sweep,
+        kwargs=dict(
+            replica_counts=axes["replica_counts"],
+            batch_sizes=axes["batch_sizes"],
+            duration=axes["duration"],
+            seed=12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = series_by_protocol(results, x_field="batch")
+    save_report(results_dir, "fig12_batch_sweep", render_series(series, "batch"))
+
+    # Shape assertions at every (n, batch) grid point.
+    grid = {}
+    for r in results:
+        grid[(r.config.protocol_name, r.config.system.n,
+              r.config.protocol.batch_size)] = r
+    for n in axes["replica_counts"]:
+        for batch in axes["batch_sizes"]:
+            tusk = grid[("tusk", n, batch)]
+            ld1 = grid[("lightdag1", n, batch)]
+            ld2 = grid[("lightdag2", n, batch)]
+            assert ld1.throughput_tps > tusk.throughput_tps
+            assert ld2.throughput_tps > tusk.throughput_tps
+            assert ld1.mean_latency < tusk.mean_latency
+            assert ld2.mean_latency < tusk.mean_latency
+
+    # Headline ratios at the largest configured point.
+    n = max(axes["replica_counts"])
+    batch = max(axes["batch_sizes"])
+    tusk = grid[("tusk", n, batch)]
+    ld1 = grid[("lightdag1", n, batch)]
+    ld2 = grid[("lightdag2", n, batch)]
+    print(
+        f"\nheadline @ n={n}, batch={batch}: "
+        f"LD1/Tusk tps={ld1.throughput_tps / tusk.throughput_tps:.2f}x "
+        f"(paper 1.69x), LD2/Tusk tps={ld2.throughput_tps / tusk.throughput_tps:.2f}x "
+        f"(paper 1.91x); latency cut LD1={1 - ld1.mean_latency / tusk.mean_latency:.0%} "
+        f"(paper 41%), LD2={1 - ld2.mean_latency / tusk.mean_latency:.0%} (paper 45%)"
+    )
+    assert ld2.throughput_tps / tusk.throughput_tps > 1.4
+    assert 1 - ld2.mean_latency / tusk.mean_latency > 0.25

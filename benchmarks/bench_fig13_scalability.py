@@ -1,0 +1,74 @@
+"""Fig. 13: throughput (a) and latency (b) vs replica count, favorable case.
+
+Paper setting: batch size 400, n from 7 to 61.  Claims under reproduction
+(§VI-C):
+
+* performance degrades as n grows, for every protocol;
+* LightDAG1/2 stay above Tusk and Bullshark throughout;
+* LightDAG's latency slope is smaller than Tusk's (the scalability claim);
+* throughput curves converge at large n (communication overhead eats the
+  link budget).
+"""
+
+import pytest
+
+from repro.harness.experiments import scalability_sweep
+from repro.harness.report import render_series, series_by_protocol
+
+from .conftest import save_report
+
+
+def test_fig13_scalability_sweep(benchmark, axes, results_dir):
+    replicas = axes["scalability_replicas"]
+    results = benchmark.pedantic(
+        scalability_sweep,
+        kwargs=dict(
+            replica_counts=replicas,
+            batch_size=400,
+            duration=axes["duration"],
+            seed=13,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = series_by_protocol(results, x_field="n")
+    save_report(results_dir, "fig13_scalability", render_series(series, "n"))
+
+    def curve(protocol, field):
+        return {x: (tps if field == "tps" else lat)
+                for x, tps, lat in series[protocol]}
+
+    lo, hi = replicas[0], replicas[-1]
+
+    # Latency grows with n for every protocol (Fig. 13b).
+    for protocol in series:
+        lat = curve(protocol, "lat")
+        assert lat[hi] > lat[lo], protocol
+
+    # LightDAG above the RBC baselines at every n (Fig. 13a).
+    for n in replicas:
+        tps = {p: curve(p, "tps")[n] for p in series}
+        assert tps["lightdag2"] > tps["tusk"]
+        assert tps["lightdag1"] > tps["tusk"]
+
+    # The slope claim (Fig. 13b): LightDAG's latency grows more slowly than
+    # Tusk's — structurally guaranteed here because an RBC round carries
+    # twice the Θ(n²) echo-class traffic of a CBC round.
+    tusk_growth = curve("tusk", "lat")[hi] - curve("tusk", "lat")[lo]
+    for protocol in ("lightdag1", "lightdag2"):
+        growth = curve(protocol, "lat")[hi] - curve(protocol, "lat")[lo]
+        print(f"latency growth {protocol}: {growth * 1000:.0f}ms vs tusk "
+              f"{tusk_growth * 1000:.0f}ms over n={lo}->{hi}")
+        assert growth < tusk_growth
+
+    # Degradation at scale (Fig. 13a): per-replica efficiency falls — the
+    # largest system commits fewer txs per replica than the sweet spot —
+    # and for the RBC baselines aggregate throughput itself turns down.
+    # Only meaningful once the sweep actually reaches large systems; at
+    # smoke scale (n ≤ 7) every protocol is still in the rising regime.
+    if hi >= 31:
+        for protocol in series:
+            per_replica = {x: tps / x for x, tps, _ in series[protocol]}
+            assert per_replica[hi] < max(per_replica.values()), protocol
+        tusk_tps = curve("tusk", "tps")
+        assert tusk_tps[hi] < max(tusk_tps.values())

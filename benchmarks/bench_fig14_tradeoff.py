@@ -1,0 +1,66 @@
+"""Fig. 14: latency vs throughput trade-off to saturation, favorable case.
+
+Paper setting: n ∈ {7, 22}, batch size ramped until peak throughput.
+Claims under reproduction (§VI-D):
+
+* each protocol's curve is a hockey stick: throughput grows to a plateau
+  while latency climbs;
+* peak-throughput ordering LightDAG2 > LightDAG1 > {Bullshark, Tusk}
+  (paper, n=22: 24.1k > 21.2k > 20.5k > 13.0k TPS).
+"""
+
+import pytest
+
+from repro.harness.experiments import peak_throughput, tradeoff_curve
+from repro.harness.report import render_series, series_by_protocol
+
+from .conftest import save_report
+
+
+def test_fig14_latency_throughput_tradeoff(benchmark, axes, results_dir):
+    results = benchmark.pedantic(
+        tradeoff_curve,
+        kwargs=dict(
+            replica_counts=axes["tradeoff_replicas"],
+            batch_ramp=axes["batch_ramp"],
+            duration=axes["duration"],
+            seed=14,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = series_by_protocol(results, x_field="batch")
+    peaks = peak_throughput(results)
+    report = render_series(series, "batch")
+    report += "\n\npeak throughput (the Fig. 14 headline):\n"
+    for key in sorted(peaks):
+        r = peaks[key]
+        report += (f"  {key:<22} {r.throughput_tps:>10,.0f} TPS at "
+                   f"batch={r.config.protocol.batch_size}, "
+                   f"latency={r.mean_latency * 1000:.0f}ms\n")
+    save_report(results_dir, "fig14_tradeoff", report)
+
+    for n in axes["tradeoff_replicas"]:
+        peak = {p: peaks[f"{p}@n={n}"].throughput_tps
+                for p in ("tusk", "bullshark", "lightdag1", "lightdag2")}
+        # Peak ordering: LightDAG2 on top; LightDAG1 above Tusk.  (The paper
+        # also has Bullshark above Tusk and below LightDAG1 — our common
+        # framework gives Tusk and Bullshark near-identical peaks since they
+        # share RBC's message complexity; printed, not asserted.)
+        assert peak["lightdag2"] == max(peak.values())
+        assert peak["lightdag1"] > peak["tusk"]
+        print(f"n={n} peaks: " + ", ".join(
+            f"{p}={peak[p]:,.0f}" for p in sorted(peak, key=peak.get, reverse=True)
+        ))
+
+    # Hockey stick: along the ramp, latency keeps growing while throughput
+    # grows sublinearly in the offered batch (saturation onset).
+    for key, points in series.items():
+        xs = [p[0] for p in points]
+        tps = [p[1] for p in points]
+        lat = [p[2] for p in points]
+        assert lat[-1] > lat[0], key
+        if len(tps) >= 3:
+            tps_growth = tps[-1] / max(tps[0], 1)
+            batch_growth = xs[-1] / xs[0]
+            assert tps_growth < batch_growth, key

@@ -1,0 +1,70 @@
+"""Fig. 15: latency vs throughput under each protocol's strongest attack.
+
+Paper setting (§VI-A/E): crash-f against Tusk and LightDAG1, leader delay
+against Bullshark, scheduled equivocation against LightDAG2; n ∈ {7, 22}.
+Claims under reproduction:
+
+* Bullshark delivers the poorest performance (broken optimistic path and
+  the prolonged optimistic→pessimistic switch);
+* LightDAG1 consistently outperforms Tusk;
+* LightDAG2 remains the best overall — the 12(t+1) worst case is not
+  realized because each successful attack permanently exposes one
+  Byzantine replica (§VI-E).
+"""
+
+import pytest
+
+from repro.harness.experiments import peak_throughput, unfavorable_curve
+from repro.harness.report import render_series, series_by_protocol
+
+from .conftest import save_report
+
+
+def test_fig15_unfavorable_tradeoff(benchmark, axes, results_dir):
+    # The attacks need runway: Bullshark's timeout backoff takes several
+    # waves to outgrow the adversary's delay, and LightDAG2's exclusion
+    # machinery needs the attack to actually fire — so Fig. 15 runs at
+    # least 15 simulated seconds regardless of scale.
+    duration = max(axes["duration"], 15.0)
+    results = benchmark.pedantic(
+        unfavorable_curve,
+        kwargs=dict(
+            replica_counts=axes["tradeoff_replicas"],
+            batch_ramp=axes["batch_ramp"],
+            duration=duration,
+            seed=15,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    series = series_by_protocol(results, x_field="batch")
+    peaks = peak_throughput(results)
+    report = render_series(series, "batch")
+    report += "\n\npeak throughput under attack:\n"
+    for key in sorted(peaks):
+        r = peaks[key]
+        report += (f"  {key:<22} {r.throughput_tps:>10,.0f} TPS, "
+                   f"latency={r.mean_latency * 1000:.0f}ms "
+                   f"(attack: {r.config.adversary_name} -> "
+                   f"{r.extras.get('reproposals', 0):.0f} reproposals)\n")
+    save_report(results_dir, "fig15_unfavorable", report)
+
+    for n in axes["tradeoff_replicas"]:
+        peak_tps = {p: peaks[f"{p}@n={n}"].throughput_tps
+                    for p in ("tusk", "bullshark", "lightdag1", "lightdag2")}
+        lat = {p: peaks[f"{p}@n={n}"].mean_latency
+               for p in ("tusk", "bullshark", "lightdag1", "lightdag2")}
+
+        # LightDAG2 best overall despite being the protocol under the most
+        # targeted attack.
+        assert peak_tps["lightdag2"] == max(peak_tps.values())
+        # LightDAG1 consistently outperforms Tusk.
+        assert peak_tps["lightdag1"] > peak_tps["tusk"]
+        assert lat["lightdag1"] < lat["tusk"]
+        # The RBC baselines sit at the bottom of the latency ranking; the
+        # crash-f attack on Tusk and the leader-delay attack on Bullshark
+        # can land within a few percent of each other, so "poorest" is
+        # asserted as: worse than both LightDAGs and within 10% of the max.
+        assert lat["bullshark"] > lat["lightdag1"]
+        assert lat["bullshark"] > lat["lightdag2"]
+        assert lat["bullshark"] >= 0.9 * max(lat.values())

@@ -1,0 +1,57 @@
+"""Micro-benchmarks: the binary wire codec.
+
+Quantifies the serialization cost the TCP transport pays per message —
+and, by comparison with the CPU-model constants (DESIGN.md §3), sanity
+checks that the modeled per-byte cost is not absurd relative to a real
+pure-Python codec.
+"""
+
+import pytest
+
+from repro.codec.blocks import block_from_bytes, block_to_bytes
+from repro.codec.messages import decode_message, encode_message
+from repro.broadcast.messages import BlockEcho, BlockVal
+from repro.config import SystemConfig
+from repro.crypto.backend import HmacBackend
+from repro.dag.block import TxBatch, genesis_block, make_block
+
+SYSTEM = SystemConfig(n=4, crypto="hmac", seed=0)
+
+
+def big_block(txs=400):
+    return make_block(
+        1, 0, [genesis_block(a).digest for a in range(4)],
+        payload=TxBatch(count=txs, tx_size=128, submit_time_sum=txs * 1.0,
+                        sample=(1.0,), items=tuple(bytes(128) for _ in range(txs))),
+        signer=HmacBackend(0, SYSTEM),
+    )
+
+
+class TestCodecThroughput:
+    def test_encode_block_with_payload(self, benchmark):
+        block = big_block()
+        raw = benchmark(block_to_bytes, block)
+        assert len(raw) > 400 * 128
+
+    def test_decode_block_with_payload(self, benchmark):
+        raw = block_to_bytes(big_block())
+        decoded = benchmark(block_from_bytes, raw)
+        assert decoded.payload.count == 400
+
+    def test_encode_echo(self, benchmark):
+        echo = BlockEcho(round=5, author=2, digest=b"\x22" * 32)
+        raw = benchmark(encode_message, echo)
+        assert len(raw) < 64
+
+    def test_decode_echo(self, benchmark):
+        raw = encode_message(BlockEcho(round=5, author=2, digest=b"\x22" * 32))
+        msg = benchmark(decode_message, raw)
+        assert msg.round == 5
+
+    def test_roundtrip_val(self, benchmark):
+        msg = BlockVal(big_block(txs=100))
+
+        def roundtrip():
+            return decode_message(encode_message(msg))
+
+        assert benchmark(roundtrip) == msg

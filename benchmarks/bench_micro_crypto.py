@@ -1,0 +1,88 @@
+"""Micro-benchmarks: the cryptographic substrate.
+
+Not a paper figure — these quantify the per-operation costs behind the
+crypto-backend ablation (DESIGN.md §5.5) and justify the default choice of
+the HMAC backend for large simulator sweeps.
+"""
+
+import random
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.crypto.backend import HmacBackend, NullBackend, SchnorrBackend
+from repro.crypto.coin import ThresholdCoin
+from repro.crypto.group import default_group
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import TrustedDealer
+from repro.crypto.shamir import recover_secret, split_secret
+
+SYSTEM = SystemConfig(n=4, crypto="schnorr", seed=0)
+CHAINS = TrustedDealer(SYSTEM).deal()
+MSG = hash_fields("benchmark-message")
+
+
+class TestSigningBackends:
+    def test_schnorr_sign(self, benchmark):
+        backend = SchnorrBackend(CHAINS[0])
+        benchmark(backend.sign, MSG)
+
+    def test_schnorr_verify(self, benchmark):
+        backend = SchnorrBackend(CHAINS[0])
+        sig = backend.sign(MSG)
+        assert benchmark(backend.verify, 0, MSG, sig)
+
+    def test_hmac_sign(self, benchmark):
+        backend = HmacBackend(0, SYSTEM)
+        benchmark(backend.sign, MSG)
+
+    def test_hmac_verify(self, benchmark):
+        backend = HmacBackend(0, SYSTEM)
+        sig = backend.sign(MSG)
+        assert benchmark(backend.verify, 0, MSG, sig)
+
+    def test_null_sign(self, benchmark):
+        benchmark(NullBackend().sign, MSG)
+
+
+class TestCoin:
+    def test_threshold_coin_share(self, benchmark):
+        coin = ThresholdCoin(CHAINS[0])
+        benchmark(coin.make_share, 1)
+
+    def test_threshold_coin_verify_share(self, benchmark):
+        coins = [ThresholdCoin(c) for c in CHAINS]
+        share = coins[1].make_share(1)
+        assert benchmark(coins[0].verify_share, share)
+
+    def test_threshold_coin_reveal(self, benchmark):
+        shares = [ThresholdCoin(c).make_share(1) for c in CHAINS]
+
+        def reveal():
+            coin = ThresholdCoin(CHAINS[0])
+            out = None
+            for share in shares:
+                result = coin.add_share(share)
+                out = result if result is not None else out
+            return out
+
+        assert benchmark(reveal) is not None
+
+
+class TestPrimitives:
+    def test_hash_fields(self, benchmark):
+        benchmark(hash_fields, "block", 12, 3, (b"\x00" * 32,) * 4)
+
+    def test_group_exp(self, benchmark):
+        group = default_group(256)
+        benchmark(group.exp, group.g, 0xDEADBEEF12345678)
+
+    def test_shamir_split(self, benchmark):
+        group = default_group(256)
+        rng = random.Random(1)
+        benchmark(split_secret, 12345, 5, 7, group.q, rng)
+
+    def test_shamir_recover(self, benchmark):
+        group = default_group(256)
+        shares = split_secret(12345, 5, 7, group.q, random.Random(1))
+        assert benchmark(recover_secret, shares[:5], group.q) == 12345

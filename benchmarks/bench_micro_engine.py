@@ -1,0 +1,82 @@
+"""Micro-benchmarks: simulator event throughput and protocol hot paths.
+
+The profiling-first rule (optimization guide): know where the simulated
+seconds go.  These benches time (a) the raw event loop, (b) one full
+protocol round trip per protocol, normalizing by processed events —
+the number that bounds how big a Fig. 13 sweep can get.
+"""
+
+import pytest
+
+from repro.config import ProtocolConfig, SystemConfig
+from repro.crypto.keys import TrustedDealer
+from repro.harness.runner import PROTOCOL_REGISTRY
+from repro.net.latency import FixedLatency
+from repro.net.simulator import Simulation
+
+
+def build_sim(protocol_name, n=7, batch=100, seed=1):
+    system = SystemConfig(n=n, crypto="hmac", seed=seed)
+    protocol = ProtocolConfig(batch_size=batch)
+    chains = TrustedDealer(
+        system, coin_threshold=protocol.resolve_coin_threshold(system)
+    ).deal()
+    node_cls = PROTOCOL_REGISTRY[protocol_name]
+
+    def factory(i):
+        return lambda net: node_cls(net, system=system, protocol=protocol,
+                                    keychain=chains[i])
+
+    return Simulation(
+        [factory(i) for i in range(n)],
+        latency_model=FixedLatency(0.05),
+        bandwidth_bps=100_000_000,
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("protocol", ["lightdag1", "lightdag2", "tusk"])
+def test_protocol_simulated_second(benchmark, protocol):
+    """Wall-clock cost of simulating one protocol-second at n=7."""
+
+    def run_one_second():
+        sim = build_sim(protocol)
+        sim.run(until=1.0)
+        return sim.stats.events_processed
+
+    events = benchmark(run_one_second)
+    assert events > 100
+
+
+def test_event_loop_overhead(benchmark):
+    """Pure event-queue throughput with trivial handlers."""
+    from dataclasses import dataclass
+
+    from repro.net.interfaces import Message, Node
+
+    @dataclass(frozen=True)
+    class Tick(Message):
+        def wire_size(self) -> int:
+            return 16
+
+    class Bouncer(Node):
+        count = 0
+
+        def on_message(self, src, msg):
+            self.count += 1
+            if self.count < 2000:
+                self.net.send((self.node_id + 1) % self.net.n, msg)
+
+    def run():
+        sim = Simulation(
+            [lambda net: Bouncer(net) for _ in range(4)],
+            latency_model=FixedLatency(0.001),
+            bandwidth_bps=None,
+        )
+        sim.start()
+        sim.nodes[0].net.send(1, Tick())
+        sim.run()
+        return sim.stats.events_processed
+
+    events = benchmark(run)
+    assert events >= 2000

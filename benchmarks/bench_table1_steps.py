@@ -1,0 +1,46 @@
+"""Table I: latency in communication steps (paper vs measured).
+
+Regenerates the paper's protocol-comparison table: wave length, broadcast
+primitive, best-case latency in communication steps — measured on a
+unit-latency network — against the analytic values the paper states.
+
+Expected outcome (see EXPERIMENTS.md):
+
+===========  =====  =========  ==========  =========
+protocol     waves  broadcast  paper best  measured
+===========  =====  =========  ==========  =========
+dagrider     4      RBC        12 (10)     12
+tusk         3      RBC        9 (7)       7
+bullshark    4      RBC        6           6
+lightdag1    3      CBC        6 (5)       5
+lightdag2    3      CBC & PBC  4           4
+===========  =====  =========  ==========  =========
+"""
+
+import pytest
+
+from repro.harness.report import format_table
+from repro.harness.steps import table1_rows
+
+from .conftest import save_report
+
+
+def test_table1_communication_steps(benchmark, results_dir):
+    rows = benchmark.pedantic(table1_rows, kwargs=dict(n=4, seed=0),
+                              rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        [
+            "protocol", "wave_length", "broadcast",
+            "paper_best", "paper_best_early", "paper_worst",
+            "measured_best", "measured_mean",
+        ],
+    )
+    save_report(results_dir, "table1_steps", text)
+
+    by_name = {row["protocol"]: row for row in rows}
+    assert by_name["lightdag2"]["measured_best"] == 4
+    assert by_name["lightdag1"]["measured_best"] == 5
+    assert by_name["bullshark"]["measured_best"] == 6
+    assert by_name["tusk"]["measured_best"] == 7
+    assert by_name["dagrider"]["measured_best"] == 12

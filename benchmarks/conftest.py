@@ -1,0 +1,71 @@
+"""Shared benchmark configuration.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to
+
+* ``smoke`` — minutes-long CI sanity (tiny systems, short horizons);
+* ``small`` — the default: the paper's qualitative shape at reduced
+  replica counts / durations (completes in ~10 minutes);
+* ``full``  — the paper's exact axes (n up to 61, batch up to 1000;
+  expect a long run).
+
+Every figure bench writes its rendered table to ``benchmarks/results/`` so
+the numbers survive pytest's output capture (EXPERIMENTS.md quotes them).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-scale experiment axes.
+AXES = {
+    "smoke": dict(
+        replica_counts=(4,),
+        batch_sizes=(100, 400),
+        scalability_replicas=(4, 7),
+        batch_ramp=(100, 800),
+        duration=8.0,
+        tradeoff_replicas=(4,),
+    ),
+    "small": dict(
+        replica_counts=(7, 22),
+        batch_sizes=(100, 400, 1000),
+        scalability_replicas=(7, 13, 22, 31),
+        batch_ramp=(100, 400, 1000, 2000),
+        duration=10.0,
+        tradeoff_replicas=(7, 22),
+    ),
+    "full": dict(
+        replica_counts=(7, 22),
+        batch_sizes=(100, 200, 400, 600, 800, 1000),
+        scalability_replicas=(7, 13, 22, 31, 43, 61),
+        batch_ramp=(50, 100, 200, 400, 800, 1200, 1600, 2000),
+        duration=20.0,
+        tradeoff_replicas=(7, 22),
+    ),
+}
+
+
+@pytest.fixture(scope="session")
+def axes():
+    if SCALE not in AXES:
+        raise RuntimeError(f"REPRO_BENCH_SCALE must be one of {sorted(AXES)}")
+    return AXES[SCALE]
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} (scale={SCALE}) ===\n{text}\n[saved to {path}]")

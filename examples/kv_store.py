@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""A replicated key-value store on top of LightDAG2 (asyncio runtime).
+
+Demonstrates the library as an application substrate, not just a
+measurement rig: each replica accepts ``SET key value`` commands into its
+mempool, LightDAG2 orders them across the cluster, and every replica
+applies the committed sequence to a local dict.  Because commitment is a
+total order (Theorem 6), all replicas end with identical stores — even
+though commands entered at different replicas concurrently.
+
+This is state-machine replication in ~100 lines over the public API:
+``payload_source`` feeds real bytes in, ``on_commit`` streams the ordered
+bytes out.
+
+Run:  python examples/kv_store.py
+"""
+
+import asyncio
+from typing import Dict, List
+
+from repro.config import ProtocolConfig, SystemConfig
+from repro.core.lightdag2 import LightDag2Node
+from repro.crypto.keys import TrustedDealer
+from repro.dag.block import TxBatch
+from repro.net.asyncnet import AsyncCluster
+from repro.net.latency import FixedLatency
+
+
+class KvReplica:
+    """One replica: a command queue in, an ordered state machine out."""
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = replica_id
+        self.pending: List[bytes] = []
+        self.state: Dict[str, str] = {}
+        self.applied: List[bytes] = []
+
+    def submit(self, key: str, value: str) -> None:
+        """Client-facing write: enqueue a SET command."""
+        self.pending.append(f"SET {key} {value}".encode())
+
+    def payload_source(self, now: float) -> TxBatch:
+        """Drain pending commands into the next block (protocol hook)."""
+        if not self.pending:
+            return TxBatch(count=0, tx_size=0)
+        items = tuple(self.pending)
+        self.pending = []
+        return TxBatch(
+            count=len(items),
+            tx_size=max(len(i) for i in items),
+            submit_time_sum=len(items) * now,
+            items=items,
+        )
+
+    def on_commit(self, record) -> None:
+        """Apply committed commands in ledger order (protocol hook)."""
+        for command in record.block.payload.items:
+            self.applied.append(command)
+            op, key, value = command.decode().split(" ", 2)
+            assert op == "SET"
+            self.state[key] = value
+
+
+async def main_async() -> None:
+    system = SystemConfig(n=4)
+    protocol = ProtocolConfig(batch_size=16)
+    chains = TrustedDealer(system).deal()
+    replicas = [KvReplica(i) for i in range(system.n)]
+
+    def factory(i: int):
+        def make(net):
+            return LightDag2Node(
+                net,
+                system,
+                protocol,
+                chains[i],
+                payload_source=replicas[i].payload_source,
+                on_commit=replicas[i].on_commit,
+            )
+
+        return make
+
+    cluster = AsyncCluster(
+        [factory(i) for i in range(system.n)],
+        latency_model=FixedLatency(0.005),
+    )
+
+    # Concurrent writes landing at different replicas — including two
+    # conflicting writes to the same key at replicas 1 and 2.
+    replicas[0].submit("alice", "100")
+    replicas[1].submit("bob", "250")
+    replicas[2].submit("bob", "300")
+    replicas[3].submit("carol", "50")
+
+    run = asyncio.create_task(cluster.run(3.0))
+    await asyncio.sleep(1.0)
+    replicas[1].submit("alice", "175")  # a later write mid-run
+    await run
+
+    print("Final replicated state per replica:")
+    for replica in replicas:
+        print(f"  replica {replica.replica_id}: {dict(sorted(replica.state.items()))}")
+
+    states = {tuple(sorted(r.state.items())) for r in replicas}
+    orders = {tuple(r.applied) for r in replicas}
+    assert len(states) == 1, "replicas diverged!"
+    assert len(orders) == 1, "command orders diverged!"
+    print("\nAll replicas applied the same commands in the same order ✓")
+    print(f"(conflicting writes to 'bob' resolved identically everywhere: "
+          f"bob={replicas[0].state['bob']})")
+
+
+if __name__ == "__main__":
+    asyncio.run(main_async())

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run LightDAG2 against Tusk and print the comparison.
+
+This is the 60-second tour of the library: configure a replica set, pick a
+protocol, run a simulated WAN deployment, and read throughput/latency —
+the two metrics of the paper's evaluation (§VI-A).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ExperimentConfig, ProtocolConfig, SystemConfig, run_experiment
+
+
+def main() -> None:
+    print("LightDAG reproduction — quickstart")
+    print("7 replicas on a simulated 4-continent WAN, batch size 400,")
+    print("128-byte transactions, 10 simulated seconds.\n")
+
+    results = {}
+    for protocol in ("tusk", "bullshark", "lightdag1", "lightdag2"):
+        cfg = ExperimentConfig(
+            system=SystemConfig(n=7),
+            protocol=ProtocolConfig(batch_size=400),
+            protocol_name=protocol,
+            duration=10.0,
+            warmup=2.0,
+            seed=42,
+        )
+        results[protocol] = run_experiment(cfg)
+
+    print(f"{'protocol':<12} {'TPS':>10} {'latency':>10} {'p95':>10} {'rounds':>7}")
+    for protocol, r in results.items():
+        print(
+            f"{protocol:<12} {r.throughput_tps:>10,.0f} "
+            f"{r.mean_latency * 1000:>8.0f}ms {r.p95_latency * 1000:>8.0f}ms "
+            f"{r.rounds_reached:>7}"
+        )
+
+    tusk = results["tusk"]
+    ld2 = results["lightdag2"]
+    print(
+        f"\nLightDAG2 vs Tusk: {ld2.throughput_tps / tusk.throughput_tps:.2f}x "
+        f"throughput, {(1 - ld2.mean_latency / tusk.mean_latency) * 100:.0f}% "
+        f"lower latency"
+    )
+    print("(paper, n=22 batch=1000: 1.91x throughput, 45% lower latency)")
+
+
+if __name__ == "__main__":
+    main()

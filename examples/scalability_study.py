@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Mini scalability study (Fig. 13): throughput & latency vs replica count.
+
+Sweeps the replica set from 7 to 31 at batch size 400 (the full Fig. 13
+goes to 61; ``--full`` does too, at several minutes of runtime) and prints
+both series per protocol.  Things to look for, per §VI-C:
+
+* every protocol slows as n grows (quadratic message complexity);
+* LightDAG1/2 stay above Tusk/Bullshark throughout;
+* the *slope* of LightDAG's latency curve is flatter than Tusk's —
+  the paper's scalability claim;
+* throughput curves converge as communication overhead eats the budget.
+
+Run:  python examples/scalability_study.py [--full]
+"""
+
+import sys
+
+from repro.harness.experiments import scalability_sweep
+from repro.harness.report import render_series, series_by_protocol
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    replica_counts = (7, 13, 22, 31, 43, 52, 61) if full else (7, 13, 22, 31)
+    duration = 20.0 if full else 10.0
+
+    print(f"Scalability sweep: n ∈ {replica_counts}, batch 400, "
+          f"{duration:.0f}s simulated per point\n")
+    results = scalability_sweep(
+        replica_counts=replica_counts, duration=duration, seed=7
+    )
+    series = series_by_protocol(results, x_field="n")
+    print(render_series(series, x_name="n"))
+
+    # The paper's slope observation, quantified on the shared endpoints.
+    lo_n, hi_n = replica_counts[0], replica_counts[-1]
+    print("\nLatency growth from n={} to n={}:".format(lo_n, hi_n))
+    for protocol, points in sorted(series.items()):
+        lat = {x: latency for x, _, latency in points}
+        growth = lat[hi_n] / lat[lo_n]
+        print(f"  {protocol:<12} {lat[lo_n] * 1000:6.0f}ms -> {lat[hi_n] * 1000:6.0f}ms ({growth:.2f}x)")
+    print("\nExpected (Fig. 13b): LightDAG1/2 grow slower than Tusk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""LightDAG reproduction: low-latency DAG-based BFT consensus.
+
+A full from-scratch Python implementation of *LightDAG: A Low-latency
+DAG-based BFT Consensus through Lightweight Broadcast* (Dai et al.,
+IPDPS 2024), including both protocol variants, the DAG-Rider / Tusk /
+Bullshark baselines, every substrate they stand on (PBC/CBC/RBC broadcast,
+threshold-coin cryptography, a deterministic WAN network simulator, an
+asyncio prototype runtime), and a harness regenerating every table and
+figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import ExperimentConfig, ProtocolConfig, SystemConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        system=SystemConfig(n=7),
+        protocol=ProtocolConfig(batch_size=400),
+        protocol_name="lightdag2",
+        duration=10.0,
+    )
+    result = run_experiment(cfg)
+    print(result.throughput_tps, result.mean_latency)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from .config import ExperimentConfig, ProtocolConfig, SystemConfig
+from .core.lightdag1 import LightDag1Node
+from .core.lightdag2 import LightDag2Node
+from .baselines import BullsharkNode, DagRiderNode, TuskNode
+from .harness.runner import (
+    PROTOCOL_REGISTRY,
+    ExperimentResult,
+    run_experiment,
+)
+from .net.simulator import Simulation
+from .replica.runtime import run_async_experiment
+from .smr import KvStateMachine, SmrCluster, SmrReplica, StateMachine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BullsharkNode",
+    "DagRiderNode",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "LightDag1Node",
+    "LightDag2Node",
+    "PROTOCOL_REGISTRY",
+    "ProtocolConfig",
+    "Simulation",
+    "SystemConfig",
+    "TuskNode",
+    "KvStateMachine",
+    "SmrCluster",
+    "SmrReplica",
+    "StateMachine",
+    "run_async_experiment",
+    "run_experiment",
+]

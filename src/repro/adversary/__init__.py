@@ -1,0 +1,38 @@
+"""Adversary models for the unfavorable-situation experiments (§VI-A).
+
+The paper's adversary cannot break safety or liveness (the protocols are
+proven), so its power is spent on efficiency.  §VI-A names the strongest
+attack per protocol, and this package implements each:
+
+* **Crash** (vs. Tusk and LightDAG1) — crash ``f`` replicas to cut the
+  number of proposed blocks per round: :class:`~repro.adversary.crash.CrashAdversary`.
+* **Leader delay** (vs. Bullshark) — delay the predefined leaders' blocks
+  to break the optimistic path:
+  :class:`~repro.adversary.delay.BullsharkLeaderDelayAdversary`.
+* **Scheduled equivocation** (vs. LightDAG2) — one Byzantine replica per
+  wave equivocates in the first PBC round, forcing Rule-2 reproposals
+  (> n second-round blocks) until it is identified and excluded:
+  :class:`~repro.adversary.byzantine.EquivocatingLightDag2Node`.
+* **Random scheduling** — a generic delay/reorder adversary for property
+  tests: :class:`~repro.adversary.scheduler.RandomSchedulingAdversary`.
+
+Message-level adversaries plug into the simulator's ``on_send`` hook;
+behavioural (Byzantine) adversaries are alternative Node classes installed
+for the corrupted replica indices.
+"""
+
+from .base import Adversary, PassiveAdversary
+from .byzantine import EquivocatingLightDag2Node
+from .crash import CrashAdversary
+from .delay import BullsharkLeaderDelayAdversary, TargetedDelayAdversary
+from .scheduler import RandomSchedulingAdversary
+
+__all__ = [
+    "Adversary",
+    "BullsharkLeaderDelayAdversary",
+    "CrashAdversary",
+    "EquivocatingLightDag2Node",
+    "PassiveAdversary",
+    "RandomSchedulingAdversary",
+    "TargetedDelayAdversary",
+]

@@ -1,0 +1,38 @@
+"""Adversary base class (message-schedule control).
+
+The asynchronous model (§III-A) lets the adversary "delay messages by an
+arbitrary but finite period".  The simulator consults the adversary on
+every non-local send; the verdict is either an extra delay in seconds
+(0.0 = deliver normally) or ``None`` = drop.  Drops model crashed senders
+and receivers only — dropping an honest-to-honest message forever would
+exceed the paper's adversary, so concrete subclasses stick to finite
+delays unless a crash is involved.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..net.interfaces import Message
+
+
+class Adversary:
+    """Base adversary: no interference."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(f"adversary:{seed}")
+        self.sim = None
+
+    def attach(self, sim) -> None:
+        """Called by the simulator after nodes exist; override to crash
+        replicas or inspect the topology."""
+        self.sim = sim
+
+    def on_send(self, src: int, dst: int, msg: Message, now: float) -> Optional[float]:
+        """Extra delay in seconds for this message, or None to drop it."""
+        return 0.0
+
+
+class PassiveAdversary(Adversary):
+    """Explicit no-op adversary (the favorable-situation setting)."""

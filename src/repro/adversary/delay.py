@@ -1,0 +1,67 @@
+"""Targeted message-delay adversaries.
+
+§VI-A: "BullShark, on the other hand, can be targeted by delaying blocks
+from leaders to disrupt the optimistic path."
+
+Bullshark's leaders are *predefined* (that is the point of its fast path),
+so the adversary knows exactly which VAL messages to sit on: the leader's
+block in each leader round.  Delaying them past the other replicas' leader
+timeout means (a) every replica burns the timeout, and (b) the next-round
+blocks do not reference the leader, so the fast-path commit fails and the
+wave's payload must wait for a later leader's cascade — the "prolonged
+switch from the optimistic path to the pessimistic path" behind
+Bullshark's poor showing in Fig. 15.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..broadcast.messages import BlockVal
+from ..config import SystemConfig
+from ..crypto.hashing import hash_to_int
+from ..net.interfaces import Message
+from .base import Adversary
+
+
+class TargetedDelayAdversary(Adversary):
+    """Delay every message matching a predicate by a fixed amount."""
+
+    def __init__(self, predicate, delay: float, seed: int = 0) -> None:
+        super().__init__(seed)
+        self.predicate = predicate
+        self.delay = delay
+        self.delayed_count = 0
+
+    def on_send(self, src: int, dst: int, msg: Message, now: float) -> Optional[float]:
+        if self.predicate(src, dst, msg):
+            self.delayed_count += 1
+            return self.delay
+        return 0.0
+
+
+class BullsharkLeaderDelayAdversary(TargetedDelayAdversary):
+    """Delay the predefined Bullshark leaders' leader-round blocks.
+
+    Mirrors :meth:`repro.baselines.bullshark.BullsharkNode.predefined_leader`
+    — the adversary can compute the schedule because it is public.  Only
+    VAL messages are touched (delaying echoes/readies of an already-spread
+    block buys the adversary nothing).
+    """
+
+    def __init__(self, system: SystemConfig, delay: float = 1.0, seed: int = 0) -> None:
+        self.system = system
+
+        def is_leader_block(src: int, dst: int, msg: Message) -> bool:
+            if not isinstance(msg, BlockVal):
+                return False
+            block = msg.block
+            if block.round < 1 or block.round % 2 == 0:
+                return False  # leader rounds are the odd (wave-first) rounds
+            wave = (block.round - 1) // 2 + 1
+            leader = (
+                hash_to_int("bullshark-leader", system.seed, wave) % system.n
+            )
+            return block.author == leader
+
+        super().__init__(predicate=is_leader_block, delay=delay, seed=seed)

@@ -1,0 +1,48 @@
+"""Random message-scheduling adversary.
+
+The asynchronous model gives the adversary full control of message timing
+(§III-A).  This adversary exercises that power *unstructuredly*: every
+message gets an independent extra delay drawn from ``[0, max_delay]``,
+with an optional heavy tail.  It cannot break a correct protocol — which
+is precisely why the property-based safety tests run under it: any ledger
+divergence it provokes is a protocol bug, not an adversary feature.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.interfaces import Message
+from .base import Adversary
+
+
+class RandomSchedulingAdversary(Adversary):
+    """Independent random extra delay per message.
+
+    Parameters
+    ----------
+    max_delay:
+        Upper bound of the uniform component (seconds).
+    tail_probability / tail_delay:
+        With probability ``tail_probability`` a message additionally waits
+        ``tail_delay`` — modeling the adversary singling out a few
+        messages for long (but finite) postponement.
+    """
+
+    def __init__(
+        self,
+        max_delay: float = 0.2,
+        tail_probability: float = 0.0,
+        tail_delay: float = 2.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(seed)
+        self.max_delay = max_delay
+        self.tail_probability = tail_probability
+        self.tail_delay = tail_delay
+
+    def on_send(self, src: int, dst: int, msg: Message, now: float) -> Optional[float]:
+        delay = self.rng.uniform(0.0, self.max_delay)
+        if self.tail_probability and self.rng.random() < self.tail_probability:
+            delay += self.tail_delay
+        return delay

@@ -1,0 +1,27 @@
+"""Result analysis: repetition statistics, export, DAG visualization.
+
+* :mod:`repro.analysis.stats` — multi-seed repetition (§VI-A: "each group
+  of experiments is repeated five times to reduce experimental errors")
+  with mean/stdev/CI aggregation.
+* :mod:`repro.analysis.export` — JSON and CSV persistence of experiment
+  results, for plotting outside this repository.
+* :mod:`repro.analysis.dagviz` — render a replica's DAG as ASCII art or
+  Graphviz DOT (committed blocks, leaders, equivocations highlighted).
+* :mod:`repro.analysis.trace` — commit-pipeline breakdown: how much of
+  the latency is broadcast dissemination vs wave ordering.
+"""
+
+from .dagviz import dag_to_ascii, dag_to_dot
+from .export import results_to_csv, results_to_json
+from .stats import RepeatedResult, repeat_experiment
+from .trace import PipelineTrace
+
+__all__ = [
+    "PipelineTrace",
+    "RepeatedResult",
+    "dag_to_ascii",
+    "dag_to_dot",
+    "repeat_experiment",
+    "results_to_csv",
+    "results_to_json",
+]

@@ -1,0 +1,123 @@
+"""DAG visualization: ASCII summaries and Graphviz DOT export.
+
+Debugging a consensus run means looking at the DAG: which slots are
+filled, which blocks committed, where the leaders landed, where an
+equivocator split a slot.  :func:`dag_to_ascii` renders a compact per-round
+grid directly in the terminal; :func:`dag_to_dot` emits DOT for rendering
+outside (``dot -Tsvg``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..crypto.hashing import Digest
+from ..dag.ledger import Ledger
+from ..dag.store import DagStore
+
+#: Cell glyphs for the ASCII grid.
+GLYPH_EMPTY = "."
+GLYPH_BLOCK = "o"
+GLYPH_COMMITTED = "#"
+GLYPH_LEADER = "L"
+GLYPH_EQUIVOCATED = "X"
+
+
+def dag_to_ascii(
+    store: DagStore,
+    ledger: Optional[Ledger] = None,
+    leaders: Optional[Set[Digest]] = None,
+    first_round: int = 1,
+    last_round: Optional[int] = None,
+) -> str:
+    """Render the slot grid, one row per replica, one column per round.
+
+    Legend: ``.`` empty slot, ``o`` delivered, ``#`` committed,
+    ``L`` committed leader, ``X`` equivocated slot (> 1 block).
+    """
+    last = last_round if last_round is not None else store.highest_round()
+    committed = ledger.committed_digests if ledger is not None else set()
+    leader_digests = leaders or set()
+    lines = [
+        "rounds "
+        + " ".join(f"{r % 10}" for r in range(first_round, last + 1))
+        + f"   ({first_round}..{last})"
+    ]
+    for author in range(store.n):
+        cells = []
+        for round_ in range(first_round, last + 1):
+            blocks = store.blocks_in_slot(round_, author)
+            if not blocks:
+                cells.append(GLYPH_EMPTY)
+            elif len(blocks) > 1:
+                cells.append(GLYPH_EQUIVOCATED)
+            elif blocks[0].digest in leader_digests:
+                cells.append(GLYPH_LEADER)
+            elif blocks[0].digest in committed:
+                cells.append(GLYPH_COMMITTED)
+            else:
+                cells.append(GLYPH_BLOCK)
+        lines.append(f"  r{author:<3} " + " ".join(cells))
+    lines.append(
+        f"legend: {GLYPH_EMPTY}=empty {GLYPH_BLOCK}=delivered "
+        f"{GLYPH_COMMITTED}=committed {GLYPH_LEADER}=leader "
+        f"{GLYPH_EQUIVOCATED}=equivocated"
+    )
+    return "\n".join(lines)
+
+
+def dag_to_dot(
+    store: DagStore,
+    ledger: Optional[Ledger] = None,
+    first_round: int = 1,
+    last_round: Optional[int] = None,
+    max_blocks: int = 400,
+) -> str:
+    """Emit Graphviz DOT for a round window of the DAG.
+
+    Nodes are ``r<round>_<author>[_<j>]``; committed blocks are filled;
+    equivocated slots are red.  Caps at ``max_blocks`` nodes so a long run
+    doesn't produce an unreadable poster.
+    """
+    last = last_round if last_round is not None else store.highest_round()
+    committed = ledger.committed_digests if ledger is not None else set()
+    lines = [
+        "digraph dag {",
+        "  rankdir=RL;",
+        '  node [shape=box, fontname="monospace", fontsize=9];',
+    ]
+    name_of = {}
+    count = 0
+    for round_ in range(first_round, last + 1):
+        same_rank = []
+        for block in store.blocks_in_round(round_):
+            if count >= max_blocks:
+                break
+            count += 1
+            name = f"r{block.round}_{block.author}"
+            if block.repropose_index or len(
+                store.blocks_in_slot(block.round, block.author)
+            ) > 1:
+                name += f"_{block.repropose_index}"
+            name_of[block.digest] = name
+            attrs = []
+            if block.digest in committed:
+                attrs.append('style=filled, fillcolor="#cfe8cf"')
+            if store.slot_is_equivocated(block.round, block.author):
+                attrs.append('color="#cc2222"')
+            label = f"{block.round},{block.author}"
+            if block.repropose_index:
+                label += f"^{block.repropose_index}"
+            attrs.append(f'label="{label}"')
+            lines.append(f"  {name} [{', '.join(attrs)}];")
+            same_rank.append(name)
+        if same_rank:
+            lines.append("  { rank=same; " + "; ".join(same_rank) + "; }")
+    for digest, name in name_of.items():
+        block = store.get(digest)
+        for parent in block.parents:
+            parent_name = name_of.get(parent)
+            if parent_name is not None:
+                lines.append(f"  {name} -> {parent_name};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Persist experiment results as JSON or CSV.
+
+The benches print tables; downstream plotting wants machine-readable
+series.  Both exporters accept plain :class:`ExperimentResult` lists and
+:class:`RepeatedResult` lists (anything exposing ``row()``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+
+def _rows(results: Iterable) -> List[dict]:
+    rows = []
+    for result in results:
+        row = result.row()
+        rows.append({k: _jsonable(v) for k, v in row.items()})
+    return rows
+
+
+def _jsonable(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def results_to_json(
+    results: Iterable, path: Optional[Union[str, Path]] = None, indent: int = 2
+) -> str:
+    """Serialize results to a JSON array of row objects."""
+    text = json.dumps(_rows(results), indent=indent, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def results_to_csv(
+    results: Iterable, path: Optional[Union[str, Path]] = None
+) -> str:
+    """Serialize results to CSV (union of row keys, sorted header)."""
+    rows = _rows(results)
+    if not rows:
+        return ""
+    fields = sorted({key for row in rows for key in row})
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def load_results_json(path: Union[str, Path]) -> List[dict]:
+    """Read back a JSON export (row dicts; configs are not reconstructed)."""
+    return json.loads(Path(path).read_text())

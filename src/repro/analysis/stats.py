@@ -1,0 +1,87 @@
+"""Repetition statistics (§VI-A: experiments repeated five times).
+
+A single simulated run is deterministic per seed, so "experimental error"
+in this reproduction means *seed sensitivity* (coin outcomes, jitter
+draws).  :func:`repeat_experiment` runs a config across several seeds and
+aggregates mean, sample standard deviation, and a normal-approximation
+95% confidence interval — the error bars a figure would carry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import ExperimentConfig
+from ..harness.runner import ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean/stdev/CI for one metric across repetitions."""
+
+    mean: float
+    stdev: float
+    ci95_half_width: float
+    samples: tuple
+
+    @classmethod
+    def of(cls, values: List[float]) -> "Aggregate":
+        n = len(values)
+        mean = sum(values) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+            stdev = math.sqrt(variance)
+            ci = 1.96 * stdev / math.sqrt(n)
+        else:
+            stdev = 0.0
+            ci = 0.0
+        return cls(mean=mean, stdev=stdev, ci95_half_width=ci, samples=tuple(values))
+
+
+@dataclass(frozen=True)
+class RepeatedResult:
+    """Aggregated metrics over the repetition set."""
+
+    config: ExperimentConfig
+    repeats: int
+    throughput: Aggregate
+    latency: Aggregate
+    runs: tuple
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "protocol": self.config.protocol_name,
+            "n": self.config.system.n,
+            "batch": self.config.protocol.batch_size,
+            "repeats": self.repeats,
+            "tps_mean": round(self.throughput.mean, 1),
+            "tps_ci95": round(self.throughput.ci95_half_width, 1),
+            "latency_mean_s": round(self.latency.mean, 4),
+            "latency_ci95_s": round(self.latency.ci95_half_width, 4),
+        }
+
+
+def repeat_experiment(cfg: ExperimentConfig, repeats: int = 5) -> RepeatedResult:
+    """Run ``cfg`` under ``repeats`` distinct seeds and aggregate.
+
+    Seeds are derived as ``cfg.seed, cfg.seed+1, …`` so a repetition set is
+    itself reproducible.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    runs: List[ExperimentResult] = []
+    for k in range(repeats):
+        seeded = cfg.with_updates(
+            seed=cfg.seed + k,
+            system=cfg.system.with_updates(seed=cfg.system.seed + k),
+        )
+        runs.append(run_experiment(seeded))
+    return RepeatedResult(
+        config=cfg,
+        repeats=repeats,
+        throughput=Aggregate.of([r.throughput_tps for r in runs]),
+        latency=Aggregate.of([r.mean_latency for r in runs]),
+        runs=tuple(runs),
+    )

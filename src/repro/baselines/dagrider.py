@@ -1,0 +1,49 @@
+"""DAG-Rider baseline ([8], Keidar et al., PODC 2021).
+
+Wave = **four RBC rounds**.  The wave's leader block (round ⟨w,1⟩, named by
+the GPC revealed from shares riding with round-⟨w,4⟩ blocks) commits
+directly when ``2f + 1`` round-⟨w,4⟩ blocks reference it (three parent
+hops — the "strong path" condition).  Missed leaders commit through the
+same Algorithm-1-style cascade as LightDAG.
+
+Latency accounting (Table I): 4 RBC rounds × 3 steps = 12 steps best case
+(10 when the coin reveal is counted at the first step of the fourth RBC).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..broadcast.rbc import RbcManager
+from ..crypto.hashing import Digest
+from ..dag.block import Block
+from ..core.base import BaseDagNode
+
+
+class DagRiderNode(BaseDagNode):
+    """One DAG-Rider replica."""
+
+    WAVE_LENGTH = 4
+    WAVE_OVERLAP = False
+    SUPPORT_DEPTH = 3
+    STRICT_STORE = True
+
+    def _make_managers(self) -> None:
+        self.rbc = RbcManager(
+            self.net,
+            quorum=self.system.quorum,
+            amplify_threshold=self.system.validity_quorum,
+            on_deliver=self._on_deliver,
+        )
+
+    def _manager_for_round(self, round_: int) -> RbcManager:
+        return self.rbc
+
+    def _commit_threshold_value(self) -> int:
+        return 2 * self.system.f + 1
+
+    def _participate(self, block: Block, src: int) -> None:
+        self.rbc.echo(block)
+
+    def _holders_of(self, digest: Digest) -> Set[int]:
+        return self.rbc.echoers_of(digest)

@@ -1,0 +1,49 @@
+"""Tusk baseline ([10], Danezis et al., EuroSys 2022).
+
+Wave = **three RBC rounds** (Table I).  The wave's leader block (round
+⟨w,1⟩, named by the GPC revealed with round-⟨w,3⟩ shares) commits directly
+when ``f + 1`` round-⟨w,2⟩ blocks *directly* reference it — Tusk's
+"f+1 support stamps" rule.  Cascade as usual.
+
+Latency accounting (Table I): 3 RBC rounds × 3 steps = 9 best case (7 when
+the reveal is counted at the first step of the third RBC — our coin shares
+travel with the round-3 VALs, so the simulator exhibits the 7-step figure).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from ..broadcast.rbc import RbcManager
+from ..crypto.hashing import Digest
+from ..dag.block import Block
+from ..core.base import BaseDagNode
+
+
+class TuskNode(BaseDagNode):
+    """One Tusk replica."""
+
+    WAVE_LENGTH = 3
+    WAVE_OVERLAP = False
+    SUPPORT_DEPTH = 1
+    STRICT_STORE = True
+
+    def _make_managers(self) -> None:
+        self.rbc = RbcManager(
+            self.net,
+            quorum=self.system.quorum,
+            amplify_threshold=self.system.validity_quorum,
+            on_deliver=self._on_deliver,
+        )
+
+    def _manager_for_round(self, round_: int) -> RbcManager:
+        return self.rbc
+
+    def _commit_threshold_value(self) -> int:
+        return self.system.f + 1
+
+    def _participate(self, block: Block, src: int) -> None:
+        self.rbc.echo(block)
+
+    def _holders_of(self, digest: Digest) -> Set[int]:
+        return self.rbc.echoers_of(digest)

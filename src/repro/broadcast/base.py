@@ -1,0 +1,87 @@
+"""Shared machinery for the per-replica broadcast managers.
+
+Each manager tracks one *kind* of broadcast (PBC/CBC/RBC) across all its
+instances (one instance per proposed block).  The split of responsibilities
+with the owning protocol node is:
+
+* the **manager** counts messages and decides when an instance's *delivery
+  predicate* is met (body present, enough echoes/readies);
+* the **protocol** decides when a block is *acceptable* — structural
+  validity and the §IV-A ancestor gate — and signals it by calling
+  :meth:`InstanceTracker.mark_ready`.  Only blocks that are both ready and
+  predicate-complete are delivered, exactly once, via the ``on_deliver``
+  callback.
+
+This keeps every protocol rule (LightDAG2's Rules 2/3 voting policy, the
+retrieval gate) out of the broadcast layer, matching the paper's layering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from ..crypto.hashing import Digest
+from ..dag.block import Block
+
+DeliverCallback = Callable[[Block], None]
+
+
+@dataclass
+class InstanceState:
+    """Per-block broadcast state."""
+
+    body: Optional[Block] = None
+    ready: bool = False  # protocol accepted it (ancestors present, valid)
+    delivered: bool = False
+    echoers: Set[int] = field(default_factory=set)
+    readiers: Set[int] = field(default_factory=set)
+    sent_ready: bool = False
+
+
+class InstanceTracker:
+    """Digest-keyed instance states plus the single-delivery discipline."""
+
+    def __init__(self, on_deliver: DeliverCallback) -> None:
+        self._instances: Dict[Digest, InstanceState] = {}
+        self._on_deliver = on_deliver
+
+    def state(self, digest: Digest) -> InstanceState:
+        inst = self._instances.get(digest)
+        if inst is None:
+            inst = self._instances[digest] = InstanceState()
+        return inst
+
+    def peek(self, digest: Digest) -> Optional[InstanceState]:
+        return self._instances.get(digest)
+
+    def record_body(self, block: Block) -> InstanceState:
+        inst = self.state(block.digest)
+        if inst.body is None:
+            inst.body = block
+        return inst
+
+    def mark_ready(self, digest: Digest) -> InstanceState:
+        """Protocol signal: the block passed validation and the ancestor
+        gate.  Triggers delivery if the predicate is already met."""
+        inst = self.state(digest)
+        inst.ready = True
+        return inst
+
+    def try_deliver(self, inst: InstanceState, predicate_met: bool) -> bool:
+        """Deliver exactly once when ready + body + predicate all hold."""
+        if inst.delivered or not inst.ready or inst.body is None or not predicate_met:
+            return False
+        inst.delivered = True
+        self._on_deliver(inst.body)
+        return True
+
+    def is_delivered(self, digest: Digest) -> bool:
+        inst = self._instances.get(digest)
+        return inst is not None and inst.delivered
+
+    def echoers_of(self, digest: Digest) -> Set[int]:
+        """Replicas that echoed a digest — retrieval fallback targets: they
+        are guaranteed (if non-faulty) to hold the body and its ancestors."""
+        inst = self._instances.get(digest)
+        return set(inst.echoers) if inst else set()

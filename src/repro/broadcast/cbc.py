@@ -1,0 +1,131 @@
+"""Consistent Broadcast (CBC) — two steps, consistency without totality.
+
+Implementation follows §III-B.1 (after Dolev [14], Reiter [20]):
+
+* **VAL step** — the broadcaster sends block ``B`` to every replica.
+* **ECHO step** — a replica that accepts ``B`` broadcasts an ECHO for
+  ``B``'s digest.  Accepting is the *protocol's* decision (LightDAG1: echo
+  at most once per slot, after the ancestor gate; LightDAG2: Rules 2/3).
+* **Delivery** — a replica delivers ``B`` once it holds the body and
+  ``n - f`` ECHOes for ``B``'s digest (and the protocol marked it ready).
+
+Consistency argument: two quorums of ``n - f`` echoes intersect in at least
+``f + 1`` replicas, hence in one non-faulty replica; if that replica echoes
+at most one digest per slot, no two distinct blocks of one slot can both be
+delivered.  Note the *per-slot single echo* lives in the protocol's vote
+policy — LightDAG2 deliberately relaxes it (a replica may echo an original
+block and later a reproposal, Fig. 10b), trading slot-consistency for the
+Rule-2 no-contradictory-references guarantee.
+
+No totality: a replica that never receives the body (Byzantine broadcaster
+sent VAL selectively) cannot deliver — the §IV-A retrieval mechanism exists
+precisely to patch this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..crypto.hashing import Digest
+from ..dag.block import Block
+from ..net.interfaces import NetworkAPI
+from .base import DeliverCallback, InstanceTracker
+from .messages import BlockEcho, BlockVal
+
+
+class CbcManager:
+    """All CBC instances of one replica."""
+
+    #: Communication steps a full CBC takes (VAL + ECHO).
+    STEPS = 2
+
+    def __init__(self, net: NetworkAPI, quorum: int, on_deliver: DeliverCallback) -> None:
+        self.net = net
+        self.quorum = quorum
+        self.tracker = InstanceTracker(on_deliver)
+        #: digests this replica has echoed, per slot (vote bookkeeping for
+        #: protocol policies; LightDAG1 allows one entry, LightDAG2 several).
+        self.votes_by_slot: Dict[Tuple[int, int], List[Digest]] = {}
+
+    # -- proposer side ---------------------------------------------------------
+
+    def broadcast(self, block: Block) -> None:
+        self.net.broadcast(BlockVal(block))
+
+    # -- receiver side ---------------------------------------------------------
+
+    def on_val(self, src: int, block: Block) -> None:
+        """Record the body; echoing is a separate, protocol-driven act."""
+        self.tracker.record_body(block)
+
+    def vote(self, block: Block) -> None:
+        """Broadcast an ECHO for ``block`` (the Rule-2 sense of *voting*).
+
+        Idempotent per digest; the per-slot voting policy is enforced by
+        the caller, this method only records what was voted.
+        """
+        voted = self.votes_by_slot.setdefault(block.slot, [])
+        if block.digest in voted:
+            return
+        voted.append(block.digest)
+        self.net.broadcast(
+            BlockEcho(round=block.round, author=block.author, digest=block.digest)
+        )
+
+    def has_voted_in_slot(self, slot: Tuple[int, int]) -> bool:
+        return bool(self.votes_by_slot.get(slot))
+
+    def votes_in_slot(self, slot: Tuple[int, int]) -> List[Digest]:
+        return list(self.votes_by_slot.get(slot, ()))
+
+    def refresh_vote(self, block: Block) -> None:
+        """Re-broadcast our ECHO for a block we already voted for — the
+        stall-recovery path after message loss (partition heal): echoes are
+        idempotent at receivers, so this is safe to repeat."""
+        if block.digest in self.votes_by_slot.get(block.slot, ()):
+            self.net.broadcast(
+                BlockEcho(round=block.round, author=block.author, digest=block.digest)
+            )
+
+    def on_echo(self, src: int, echo: BlockEcho) -> bool:
+        """Count an echo; returns True if this completed a delivery."""
+        inst = self.tracker.state(echo.digest)
+        inst.echoers.add(src)
+        return self.tracker.try_deliver(inst, self._predicate(inst))
+
+    def mark_ready(self, digest: Digest) -> bool:
+        """Protocol signal that validation + ancestor gate passed."""
+        inst = self.tracker.mark_ready(digest)
+        return self.tracker.try_deliver(inst, self._predicate(inst))
+
+    def deliver_retrieved(self, digest: Digest) -> bool:
+        """Deliver a digest-pinned retrieval response directly (§IV-A).
+
+        A retrieved block was requested by its exact hash (taken from a
+        parent reference), so its content is authenticated by the digest
+        itself; the responder serving it asserts it was delivered there.
+        Bypassing the local echo/ready quorum is what lets a replica that
+        missed whole rounds of broadcast traffic catch back up."""
+        inst = self.tracker.mark_ready(digest)
+        return self.tracker.try_deliver(inst, predicate_met=True)
+
+    def _predicate(self, inst) -> bool:
+        return len(inst.echoers) >= self.quorum
+
+    # -- introspection ---------------------------------------------------------
+
+    def is_delivered(self, digest: Digest) -> bool:
+        return self.tracker.is_delivered(digest)
+
+    def body_of(self, digest: Digest):
+        inst = self.tracker.peek(digest)
+        return inst.body if inst else None
+
+    def echo_complete(self, digest: Digest) -> bool:
+        """True when the quorum of echoes exists (delivery may still be
+        waiting on body or ancestors — the retrieval fallback trigger)."""
+        inst = self.tracker.peek(digest)
+        return inst is not None and len(inst.echoers) >= self.quorum
+
+    def echoers_of(self, digest: Digest) -> Set[int]:
+        return self.tracker.echoers_of(digest)

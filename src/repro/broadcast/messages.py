@@ -1,0 +1,171 @@
+"""Wire messages exchanged by the broadcast layer and the protocols.
+
+Each message is a frozen dataclass implementing
+:meth:`~repro.net.interfaces.Message.wire_size`.  Authenticity of the
+*sender* comes from the channel (the runtimes hand handlers a trusted
+``src``, like authenticated TCP in the Golang prototype); *transferable*
+authenticity — anything forwarded or used as a proof, i.e. blocks — is
+covered by the author signature carried inside :class:`repro.dag.block.Block`.
+Echo/ready messages still pay signature bytes in the size model to match
+what a real deployment would send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..crypto.coin import CoinShare
+from ..crypto.hashing import Digest
+from ..dag.block import Block
+from ..net import sizes
+from ..net.interfaces import Message
+
+
+@dataclass(frozen=True)
+class BlockVal(Message):
+    """First step of every broadcast: the proposer ships the block body.
+
+    Serves as PBC's only message, CBC's VAL step, and RBC's initial send.
+    """
+
+    block: Block
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_OVERHEAD + self.block.wire_size()
+
+
+@dataclass(frozen=True)
+class BlockEcho(Message):
+    """CBC/RBC ECHO: endorse one block digest for a slot instance."""
+
+    round: int
+    author: int
+    digest: Digest
+
+    def wire_size(self) -> int:
+        return (
+            sizes.HEADER_OVERHEAD
+            + 2 * sizes.INT_SIZE
+            + sizes.DIGEST_SIZE
+            + sizes.SIGNATURE_SIZE
+        )
+
+
+@dataclass(frozen=True)
+class BlockReady(Message):
+    """RBC READY: third-step amplification vote (Bracha)."""
+
+    round: int
+    author: int
+    digest: Digest
+
+    def wire_size(self) -> int:
+        return (
+            sizes.HEADER_OVERHEAD
+            + 2 * sizes.INT_SIZE
+            + sizes.DIGEST_SIZE
+            + sizes.SIGNATURE_SIZE
+        )
+
+
+@dataclass(frozen=True)
+class RetrievalRequest(Message):
+    """§IV-A block retrieval: ask a peer for missing block bodies."""
+
+    digests: Tuple[Digest, ...]
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_OVERHEAD + len(self.digests) * sizes.DIGEST_SIZE
+
+
+@dataclass(frozen=True)
+class RetrievalResponse(Message):
+    """§IV-A block retrieval: the peer ships every requested block it has."""
+
+    blocks: Tuple[Block, ...]
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_OVERHEAD + sum(b.wire_size() for b in self.blocks)
+
+
+@dataclass(frozen=True)
+class CoinShareMsg(Message):
+    """A GPC partial for a wave, broadcast with the wave's last-round block.
+
+    The paper embeds the partial threshold signature *inside* the block; we
+    ship it as a companion message sent at the same instant — identical
+    timing and (because blocks already budget ``COIN_SHARE_SIZE`` bytes) no
+    bandwidth is double-charged beyond this small header.
+    """
+
+    share: CoinShare
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_OVERHEAD + sizes.COIN_SHARE_SIZE
+
+    @property
+    def wave(self) -> int:
+        return self.share.wave
+
+
+@dataclass(frozen=True)
+class CoinShareRequest(Message):
+    """Ask peers to (re)send their GPC share for a wave.
+
+    Shares normally ride with each wave's last-round blocks; a replica that
+    was partitioned or crashed-slow misses them, and without the coin it
+    can never place the wave's leader — its commit cascade would defer
+    forever.  Peers answer with a fresh :class:`CoinShareMsg` (shares are
+    deterministic per (replica, wave), so "resending" is recomputing).
+    This plays the role block retrieval plays for share recovery in the
+    paper's embedded-share design (see DESIGN.md §3).
+    """
+
+    wave: int
+
+    def wire_size(self) -> int:
+        return sizes.HEADER_OVERHEAD + sizes.INT_SIZE
+
+
+@dataclass(frozen=True)
+class ContradictionNotice(Message):
+    """LightDAG2 Rule 2: ``p_x`` tells proposer ``p_y`` that ``p_y``'s CBC
+    block references a block contradicting one ``p_x`` already voted for.
+
+    Carries the full conflicting block ``C⁰`` so ``p_y`` can assemble the
+    Byzantine proof (``C⁰`` plus its own referenced ``C¹``).
+    """
+
+    #: Digest of the CBC block being objected to.
+    objected: Digest
+    #: The previously-voted-for conflicting block (C⁰ in Fig. 9).
+    conflicting_block: Block
+
+    def wire_size(self) -> int:
+        return (
+            sizes.HEADER_OVERHEAD
+            + sizes.DIGEST_SIZE
+            + self.conflicting_block.wire_size()
+        )
+
+
+@dataclass(frozen=True)
+class ByzantineProofMsg(Message):
+    """LightDAG2 Rule 3: forward a Byzantine proof to a CBC proposer whose
+    block still references the culprit's blocks."""
+
+    culprit: int
+    block_a: Block
+    block_b: Block
+    #: Digest of the CBC block whose vote is being withheld (for context).
+    objected: Digest
+
+    def wire_size(self) -> int:
+        return (
+            sizes.HEADER_OVERHEAD
+            + sizes.INT_SIZE
+            + sizes.DIGEST_SIZE
+            + self.block_a.wire_size()
+            + self.block_b.wire_size()
+        )

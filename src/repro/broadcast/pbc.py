@@ -1,0 +1,77 @@
+"""Plain Broadcast (PBC) — one communication step, no guarantees.
+
+    "PBC represents the simplest broadcast process, where the broadcaster
+    transmits data to each replica, and each replica delivers the data once
+    receiving it."  (§I)
+
+PBC provides validity only: no consistency (a Byzantine broadcaster can
+send different blocks to different replicas — the equivocation LightDAG2's
+Rules 1–4 exist to contain) and no totality (a receiver the broadcaster
+skips never hears the block except through retrieval).
+
+Delivery is still gated on the protocol's ``mark_ready`` signal so that the
+§IV-A invariant — a block is delivered only after all its ancestors — holds
+uniformly across broadcast kinds.
+"""
+
+from __future__ import annotations
+
+from ..crypto.hashing import Digest
+from ..dag.block import Block
+from ..net.interfaces import NetworkAPI
+from .base import DeliverCallback, InstanceTracker
+from .messages import BlockVal
+
+
+class PbcManager:
+    """All PBC instances of one replica."""
+
+    #: Communication steps a PBC takes (for the step-latency model).
+    STEPS = 1
+
+    def __init__(self, net: NetworkAPI, on_deliver: DeliverCallback) -> None:
+        self.net = net
+        self.tracker = InstanceTracker(on_deliver)
+
+    # -- proposer side ---------------------------------------------------------
+
+    def broadcast(self, block: Block) -> None:
+        """Send the block to everyone (including ourselves, so the proposer
+        runs the same delivery path as every other replica)."""
+        self.net.broadcast(BlockVal(block))
+
+    def equivocate(self, assignments: dict) -> None:
+        """Byzantine helper: send a *different* block per destination.
+
+        ``assignments`` maps destination replica id to the block it should
+        receive.  Only adversarial node implementations call this.
+        """
+        for dst, block in assignments.items():
+            self.net.send(dst, BlockVal(block))
+
+    # -- receiver side ---------------------------------------------------------
+
+    def on_val(self, src: int, block: Block) -> None:
+        """Record an arriving body.  The protocol validates and later calls
+        :meth:`mark_ready`, which completes delivery."""
+        self.tracker.record_body(block)
+
+    def mark_ready(self, digest: Digest) -> bool:
+        """Protocol signal; PBC's delivery predicate is just body-present."""
+        inst = self.tracker.mark_ready(digest)
+        return self.tracker.try_deliver(inst, predicate_met=True)
+
+    def refresh_vote(self, block: Block) -> None:
+        """PBC has no votes; nothing to refresh."""
+
+    def deliver_retrieved(self, digest: Digest) -> bool:
+        """§IV-A direct delivery of a digest-pinned retrieved block (for
+        PBC this coincides with mark_ready — no quorum to bypass)."""
+        return self.mark_ready(digest)
+
+    def is_delivered(self, digest: Digest) -> bool:
+        return self.tracker.is_delivered(digest)
+
+    def body_of(self, digest: Digest):
+        inst = self.tracker.peek(digest)
+        return inst.body if inst else None

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        one experiment (protocol, n, batch, adversary, …)
+``table1``     regenerate Table I (paper vs measured communication steps)
+``fig``        regenerate a figure sweep (12, 13, 14 or 15)
+``steps``      measure one protocol's commit latency in steps
+``viz``        run a short simulation and print the DAG as ASCII art
+``protocols``  list available protocols and their worst-case attack
+
+Every command prints a plain-text table; ``run`` can additionally persist
+JSON/CSV via ``--json``/``--csv``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.export import results_to_csv, results_to_json
+from .analysis.stats import repeat_experiment
+from .config import ExperimentConfig, ProtocolConfig, SystemConfig
+from .harness.experiments import (
+    batch_size_sweep,
+    scalability_sweep,
+    tradeoff_curve,
+    unfavorable_curve,
+)
+from .harness.report import format_table, render_series, results_table, series_by_protocol
+from .harness.runner import PROTOCOL_REGISTRY, WORST_ATTACK, run_experiment
+from .harness.steps import measure_commit_steps, table1_rows
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete argparse tree (exposed for shell-completion tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LightDAG reproduction (IPDPS 2024) — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("--protocol", default="lightdag2",
+                       choices=sorted(PROTOCOL_REGISTRY))
+    run_p.add_argument("-n", "--replicas", type=int, default=7)
+    run_p.add_argument("--batch", type=int, default=400)
+    run_p.add_argument("--adversary", default="none",
+                       choices=["none", "crash", "leader-delay", "equivocate",
+                                "random-sched", "worst"])
+    run_p.add_argument("--duration", type=float, default=10.0)
+    run_p.add_argument("--warmup", type=float, default=2.0)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--crypto", default="hmac",
+                       choices=["schnorr", "hmac", "null"])
+    run_p.add_argument("--repeats", type=int, default=1,
+                       help="seeds to average over (§VI-A uses 5)")
+    run_p.add_argument("--json", metavar="PATH", help="write results JSON")
+    run_p.add_argument("--csv", metavar="PATH", help="write results CSV")
+
+    sub.add_parser("table1", help="Table I: paper vs measured step counts")
+
+    fig_p = sub.add_parser("fig", help="regenerate a figure sweep")
+    fig_p.add_argument("number", type=int, choices=[12, 13, 14, 15])
+    fig_p.add_argument("--duration", type=float, default=10.0)
+    fig_p.add_argument("--seed", type=int, default=0)
+    fig_p.add_argument("--small", action="store_true",
+                       help="reduced axes (quick look)")
+
+    steps_p = sub.add_parser("steps", help="measure commit steps for one protocol")
+    steps_p.add_argument("--protocol", default="lightdag2",
+                         choices=sorted(PROTOCOL_REGISTRY))
+    steps_p.add_argument("-n", "--replicas", type=int, default=4)
+
+    viz_p = sub.add_parser("viz", help="short run + ASCII DAG")
+    viz_p.add_argument("--protocol", default="lightdag2",
+                       choices=sorted(PROTOCOL_REGISTRY))
+    viz_p.add_argument("-n", "--replicas", type=int, default=4)
+    viz_p.add_argument("--duration", type=float, default=3.0)
+    viz_p.add_argument("--rounds", type=int, default=12,
+                       help="DAG rounds to display")
+    viz_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("protocols", help="list protocols")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    cfg = ExperimentConfig(
+        system=SystemConfig(n=args.replicas, crypto=args.crypto, seed=args.seed),
+        protocol=ProtocolConfig(batch_size=args.batch),
+        protocol_name=args.protocol,
+        adversary_name=args.adversary,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    if args.repeats > 1:
+        repeated = repeat_experiment(cfg, repeats=args.repeats)
+        print(format_table([repeated.row()], list(repeated.row())))
+        results = list(repeated.runs)
+    else:
+        result = run_experiment(cfg)
+        print(results_table([result]))
+        results = [result]
+    if args.json:
+        results_to_json(results, args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        results_to_csv(results, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rows = table1_rows()
+    print(format_table(rows, [
+        "protocol", "wave_length", "broadcast", "paper_best",
+        "paper_best_early", "paper_worst", "measured_best", "measured_mean",
+    ]))
+    return 0
+
+
+def _cmd_fig(args) -> int:
+    duration = args.duration
+    if args.number == 12:
+        results = batch_size_sweep(
+            replica_counts=(4, 7) if args.small else (7, 22),
+            batch_sizes=(100, 400) if args.small else (100, 200, 400, 600, 800, 1000),
+            duration=duration, seed=args.seed,
+        )
+        print(render_series(series_by_protocol(results, "batch"), "batch"))
+    elif args.number == 13:
+        results = scalability_sweep(
+            replica_counts=(4, 7, 13) if args.small else (7, 13, 22, 31, 43, 61),
+            duration=duration, seed=args.seed,
+        )
+        print(render_series(series_by_protocol(results, "n"), "n"))
+    else:
+        sweep = tradeoff_curve if args.number == 14 else unfavorable_curve
+        results = sweep(
+            replica_counts=(4,) if args.small else (7, 22),
+            batch_ramp=(100, 800) if args.small else (100, 400, 1000, 2000),
+            duration=max(duration, 15.0) if args.number == 15 else duration,
+            seed=args.seed,
+        )
+        print(render_series(series_by_protocol(results, "batch"), "batch"))
+    return 0
+
+
+def _cmd_steps(args) -> int:
+    measured = measure_commit_steps(args.protocol, n=args.replicas)
+    print(f"{args.protocol}: best={measured.best_steps:.0f} steps, "
+          f"mean={measured.mean_steps:.2f}, waves={measured.waves_committed}")
+    return 0
+
+
+def _cmd_viz(args) -> int:
+    from .analysis.dagviz import dag_to_ascii
+    from .crypto.keys import TrustedDealer
+    from .net.latency import UniformLatency
+    from .net.simulator import Simulation
+
+    system = SystemConfig(n=args.replicas, crypto="hmac", seed=args.seed)
+    protocol = ProtocolConfig(batch_size=10)
+    chains = TrustedDealer(
+        system, coin_threshold=protocol.resolve_coin_threshold(system)
+    ).deal()
+    node_cls = PROTOCOL_REGISTRY[args.protocol]
+    sim = Simulation(
+        [
+            (lambda net, i=i: node_cls(net, system=system, protocol=protocol,
+                                       keychain=chains[i]))
+            for i in range(args.replicas)
+        ],
+        latency_model=UniformLatency(0.02, 0.06),
+        seed=args.seed,
+    )
+    sim.run(until=args.duration)
+    node = sim.nodes[0]
+    leaders = {
+        node.leader_block_of(w).digest
+        for w in node.committed_leader_waves
+        if node.leader_block_of(w) is not None
+    }
+    print(f"{args.protocol} after {args.duration:.1f}s simulated "
+          f"(replica 0's view, {len(node.ledger)} blocks committed):\n")
+    print(dag_to_ascii(node.store, ledger=node.ledger, leaders=leaders,
+                       last_round=min(args.rounds, node.store.highest_round())))
+    return 0
+
+
+def _cmd_protocols(args) -> int:
+    rows = [
+        {
+            "name": name,
+            "class": cls.__name__,
+            "wave": f"{cls.WAVE_LENGTH}{'*' if cls.WAVE_OVERLAP else ''}",
+            "worst_attack": WORST_ATTACK[name],
+        }
+        for name, cls in sorted(PROTOCOL_REGISTRY.items())
+    ]
+    print(format_table(rows, ["name", "class", "wave", "worst_attack"]))
+    print("(* = overlapping wave boundary)")
+    return 0
+
+
+_HANDLERS = {
+    "run": _cmd_run,
+    "table1": _cmd_table1,
+    "fig": _cmd_fig,
+    "steps": _cmd_steps,
+    "viz": _cmd_viz,
+    "protocols": _cmd_protocols,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""The paper's contribution: LightDAG1 and LightDAG2.
+
+* :mod:`repro.core.base` — the wave/commit engine shared by both variants
+  *and* the baselines: round advancement, the Global Perfect Coin plumbing,
+  Algorithm 1's commit cascade, and the §IV-A retrieval integration.
+* :mod:`repro.core.retrieval` — the block retrieval mechanism (§IV-A).
+* :mod:`repro.core.lightdag1` — LightDAG1 (§IV): three overlapping CBC
+  rounds per wave, f+1 direct-commit rule.
+* :mod:`repro.core.lightdag2` — LightDAG2 (§V): PBC-CBC-PBC waves,
+  Rules 1–4, Byzantine proofs and equivocator exclusion.
+* :mod:`repro.core.proofs` — Byzantine-proof objects (Rule 2/3 evidence).
+"""
+
+from .base import BaseDagNode
+from .lightdag1 import LightDag1Node
+from .lightdag2 import LightDag2Node
+from .proofs import ByzantineProof
+from .retrieval import RetrievalManager
+
+__all__ = [
+    "BaseDagNode",
+    "ByzantineProof",
+    "LightDag1Node",
+    "LightDag2Node",
+    "RetrievalManager",
+]

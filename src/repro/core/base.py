@@ -1,0 +1,625 @@
+"""The shared DAG-consensus engine.
+
+Every protocol in this repository — LightDAG1, LightDAG2, DAG-Rider, Tusk,
+Bullshark — is an instance of the same skeleton (§II-B):
+
+1. advance through rounds, proposing one block per round once ``n - f``
+   distinct slots of the previous round have been delivered;
+2. broadcast each block with some broadcast primitive (the paper's whole
+   point is *which* primitive);
+3. carry Global-Perfect-Coin shares in each wave's last round; the coin
+   names a leader slot in the wave's first round;
+4. directly commit a leader once enough later-round blocks reference it,
+   then run Algorithm 1's cascade: commit skipped-but-referenced earlier
+   leaders, then each leader's uncommitted ancestors in (round, author)
+   order.
+
+:class:`BaseDagNode` implements all of that plus the §IV-A retrieval
+integration, leaving protocol-specific policy to a small set of hooks
+(class attributes for wave shape and commit thresholds; methods for vote
+policy, parent filtering, and extra proposal conditions).
+
+Correctness note on cascade determinism: replicas may *directly* commit
+different subsets of leaders (support observation is local), but Lemma 1
+guarantees directly-committable leaders are totally ordered by ancestry,
+so the "walk back to the last committed leader, commit every delivered
+leader that is an ancestor" cascade yields the same leader sequence — and
+hence the same ledger — everywhere.  After committing wave ``v`` the engine
+marks waves ``≤ v`` *settled* and never direct-commits them later (their
+leaders were either cascaded in or provably non-committable).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..broadcast.messages import (
+    BlockEcho,
+    BlockReady,
+    BlockVal,
+    CoinShareMsg,
+    CoinShareRequest,
+    RetrievalRequest,
+    RetrievalResponse,
+)
+from ..config import ProtocolConfig, SystemConfig
+from ..crypto.backend import CryptoBackend, make_backend
+from ..crypto.coin import GlobalPerfectCoin, make_coin
+from ..crypto.hashing import Digest
+from ..crypto.keys import KeyChain
+from ..dag.block import Block, EMPTY_BATCH, TxBatch, make_block
+from ..dag.ledger import CommitRecord, Ledger
+from ..dag.rounds import WaveStructure
+from ..dag.store import DagStore
+from ..dag.traversal import is_ancestor, uncommitted_ancestors
+from ..dag.validation import validate_block_structure
+from ..errors import InvalidBlockError, UnknownBlockError
+from ..net.interfaces import Message, NetworkAPI, Node
+from .retrieval import RETRY_TAG, RetrievalManager
+
+#: Signature of the payload hook: ``payload_source(now) -> TxBatch``.
+PayloadSource = Callable[[float], TxBatch]
+#: Signature of the commit hook: ``on_commit(record) -> None``.
+CommitCallback = Callable[[CommitRecord], None]
+
+#: Timer tag for the deferred-proposal tick (see ``_schedule_advance``).
+ADVANCE_TAG = "__advance__"
+
+#: Timer tag for the periodic coin-share recovery check.
+COIN_SYNC_TAG = "__coin_sync__"
+
+#: Period of the coin-share recovery check (seconds).
+COIN_SYNC_PERIOD = 0.5
+
+
+class BaseDagNode(Node):
+    """Common engine; subclasses define the wave shape and broadcast kind.
+
+    Subclass contract (class attributes)
+    ------------------------------------
+    WAVE_LENGTH / WAVE_OVERLAP:
+        The :class:`~repro.dag.rounds.WaveStructure` parameters.
+    SUPPORT_DEPTH:
+        Rounds between a wave's first round (the leader round) and the
+        round whose references directly commit the leader (1 for
+        LightDAG1/Tusk, 3 for DAG-Rider).
+    STRICT_STORE:
+        Whether a second block in a slot is a fatal violation (True for
+        every CBC/RBC protocol; LightDAG2 sets False).
+
+    Subclass contract (methods)
+    ---------------------------
+    ``_make_managers`` (required), ``_participate`` (required),
+    ``_commit_threshold_value``, ``_parent_allowed``,
+    ``_can_propose_extra``, ``_after_deliver``, ``_on_other_message``.
+    """
+
+    WAVE_LENGTH = 3
+    WAVE_OVERLAP = False
+    SUPPORT_DEPTH = 1
+    STRICT_STORE = True
+
+    def __init__(
+        self,
+        net: NetworkAPI,
+        system: SystemConfig,
+        protocol: ProtocolConfig,
+        keychain: KeyChain,
+        payload_source: Optional[PayloadSource] = None,
+        on_commit: Optional[CommitCallback] = None,
+        on_deliver: Optional[Callable[[Block, float], None]] = None,
+    ) -> None:
+        super().__init__(net)
+        #: optional observation hook fired on every delivery (tracing)
+        self.on_deliver_hook = on_deliver
+        self.system = system
+        self.protocol = protocol
+        self.wave = WaveStructure(self.WAVE_LENGTH, overlap=self.WAVE_OVERLAP)
+        self.backend: CryptoBackend = make_backend(
+            system.crypto, net.node_id, system, keychain
+        )
+        self.coin: GlobalPerfectCoin = make_coin(system.crypto, keychain, system.seed)
+        self.store = DagStore(system.n, strict=self.STRICT_STORE)
+        self.ledger = Ledger()
+        self.retrieval = RetrievalManager(
+            net, self.store, seed=system.seed, enabled=protocol.retrieval_enabled
+        )
+        self.payload_source = payload_source or (lambda now: EMPTY_BATCH)
+        self.on_commit = on_commit
+
+        self.next_round = 1
+        self._last_delivery = 0.0
+        self._my_latest_block: Optional[Block] = None
+        self.revealed_leaders: Dict[int, int] = {}
+        self.committed_leader_waves: Set[int] = set()
+        self.last_settled_wave = 0
+        self._deferred_cascades: Set[int] = set()
+        self._known: Set[Digest] = set()
+        self._invalid: Set[Digest] = set()
+        self._advance_scheduled = False
+        self._sent_share_waves: Set[int] = set()
+        self._quorum = system.quorum
+        self._commit_support = self._commit_threshold_value()
+
+        # Weak-link bookkeeping (ProtocolConfig.weak_links): blocks already
+        # inside our own proposals' ancestry ("covered") vs delivered blocks
+        # our chain has never referenced — the weak-reference candidates.
+        # Both sets update incrementally: each block enters `_covered` once.
+        self._covered: Set[Digest] = {
+            self.store.block_in_slot(0, a).digest for a in range(system.n)
+        }
+        self._uncovered: Dict[Digest, Block] = {}
+        if protocol.weak_links and not self.STRICT_STORE:
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                "weak links require a strict-store protocol (LightDAG2's "
+                "Rule 2 assumes previous-round parents)"
+            )
+
+        self._make_managers()
+
+    # ------------------------------------------------------------------ hooks
+
+    def _make_managers(self) -> None:
+        """Create broadcast manager(s); subclasses must set them up and make
+        :meth:`_manager_for_round` resolve correctly."""
+        raise NotImplementedError
+
+    def _manager_for_round(self, round_: int):
+        """The broadcast manager handling blocks of ``round_``."""
+        raise NotImplementedError
+
+    def _broadcast_block(self, block: Block) -> None:
+        self._manager_for_round(block.round).broadcast(block)
+
+    def _participate(self, block: Block, src: int) -> None:
+        """Vote/echo policy, called once a block is structurally valid and
+        all its ancestors are delivered (§IV-A gate already passed)."""
+        raise NotImplementedError
+
+    def _commit_threshold_value(self) -> int:
+        """Support needed in the support round for a direct commit."""
+        return self.protocol.resolve_commit_threshold(self.system)
+
+    def _parent_allowed(self, block: Block) -> bool:
+        """May ``block`` be chosen as a parent of our next proposal?"""
+        return True
+
+    def _can_propose_extra(self, round_: int) -> bool:
+        """Additional proposal preconditions (Bullshark's leader wait,
+        LightDAG2's coin-reveal wait at wave boundaries)."""
+        return True
+
+    def _min_parents(self, block: Block) -> int:
+        return self._quorum
+
+    def _after_deliver(self, block: Block) -> None:
+        """Protocol-specific reaction to a delivery (before commit checks)."""
+
+    def _on_other_message(self, src: int, msg: Message) -> None:
+        """Protocol-specific messages (LightDAG2 notices)."""
+
+    def _build_block(self, round_: int, parents: List[Digest], payload: TxBatch) -> Block:
+        """Assemble the outgoing block (LightDAG2 adds proofs/determinations)."""
+        return make_block(round_, self.node_id, parents, payload, signer=self.backend)
+
+    # -------------------------------------------------------------- lifecycle
+
+    def on_start(self) -> None:
+        self._coin_requested: Dict[int, float] = {}
+        self.net.set_timer(COIN_SYNC_PERIOD, COIN_SYNC_TAG)
+        self._try_advance()
+
+    def on_message(self, src: int, msg: Message) -> None:
+        if isinstance(msg, BlockVal):
+            self._on_block_body(src, msg.block)
+        elif isinstance(msg, BlockEcho):
+            self._manager_for_round(msg.round).on_echo(src, msg)
+        elif isinstance(msg, BlockReady):
+            manager = self._manager_for_round(msg.round)
+            if hasattr(manager, "on_ready"):  # CBC/PBC protocols ignore READYs
+                manager.on_ready(src, msg)
+        elif isinstance(msg, CoinShareMsg):
+            self._on_coin_share(src, msg)
+        elif isinstance(msg, CoinShareRequest):
+            # Shares are deterministic per (replica, wave): recompute and
+            # answer.  Only waves we have legitimately reached are served —
+            # revealing a future wave's share early would hand the
+            # adversary coin foreknowledge.
+            if msg.wave in self._sent_share_waves:
+                self.net.send(src, CoinShareMsg(self.coin.make_share(msg.wave)))
+        elif isinstance(msg, RetrievalRequest):
+            self.retrieval.on_request(src, msg)
+        elif isinstance(msg, RetrievalResponse):
+            for block, origin in self.retrieval.on_response(src, msg):
+                self._on_block_body(origin, block, retrieved=True)
+        else:
+            self._on_other_message(src, msg)
+
+    def on_timer(self, tag: str, data=None) -> None:
+        if tag == RETRY_TAG:
+            self.retrieval.on_retry_timer(data, self._holders_of(data))
+        elif tag == ADVANCE_TAG:
+            self._advance_scheduled = False
+            self._try_advance()
+        elif tag == COIN_SYNC_TAG:
+            self._coin_sync_check()
+            self.net.set_timer(COIN_SYNC_PERIOD, COIN_SYNC_TAG)
+
+    def _schedule_advance(self) -> None:
+        """Defer proposing to a zero-delay timer so every delivery arriving
+        at the *same simulated instant* is incorporated as a parent before
+        the proposal goes out (otherwise the quorum-completing delivery
+        systematically orphans its same-timestamp siblings)."""
+        if not self._advance_scheduled:
+            self._advance_scheduled = True
+            self.net.set_timer(0.0, ADVANCE_TAG)
+
+    def _holders_of(self, digest: Digest) -> Set[int]:
+        """Replicas believed to hold a block body (echoers of its digest)."""
+        return set()
+
+    # -------------------------------------------------------------- accepting
+
+    def _on_block_body(self, src: int, block: Block, retrieved: bool = False) -> None:
+        """Entry point for every block body (VAL or digest-pinned retrieval)."""
+        if block.digest in self._invalid:
+            return
+        if block.digest in self._known:
+            manager = self._manager_for_round(block.round)
+            if not manager.is_delivered(block.digest):
+                if retrieved:
+                    # A body we saw as a VAL but could not deliver (echo
+                    # quorum missing at us) arriving again as a retrieval
+                    # response is digest-pinned: deliverable directly (§IV-A).
+                    self._try_accept(block, src, retrieved=True)
+                else:
+                    # Duplicate VAL = a peer's stall-recovery re-broadcast;
+                    # refresh our endorsement so lost echoes are replaced.
+                    manager.refresh_vote(block)
+            return
+        if not 0 <= block.author < self.system.n or block.round < 1:
+            self._invalid.add(block.digest)
+            return
+        if not self.backend.verify(block.author, block.digest, block.signature):
+            self._invalid.add(block.digest)
+            return
+        self._known.add(block.digest)
+        self._inspect_body(block)
+        self._manager_for_round(block.round).on_val(src, block)
+        self._try_accept(block, src, retrieved=retrieved)
+
+    def _inspect_body(self, block: Block) -> None:
+        """Hook run on every authenticated body before acceptance —
+        LightDAG2 harvests embedded Byzantine proofs here."""
+
+    def _try_accept(self, block: Block, src: int, retrieved: bool = False) -> None:
+        missing = self.store.missing(block.parents)
+        if missing:
+            self.retrieval.note_pending(block, src, missing, retrieved=retrieved)
+            return
+        self._finish_accept(block, src, retrieved=retrieved)
+
+    def _finish_accept(self, block: Block, src: int, retrieved: bool = False) -> None:
+        """All parents delivered: validate structure, then participate."""
+        try:
+            validate_block_structure(
+                block,
+                self.store,
+                self.system,
+                min_parents=self._min_parents(block),
+                allow_weak=self.protocol.weak_links,
+                max_weak=self.protocol.max_weak_refs,
+            )
+        except UnknownBlockError:
+            # Race: a parent disappeared between checks — re-queue.
+            self._try_accept(block, src, retrieved=retrieved)
+            return
+        except InvalidBlockError:
+            self._invalid.add(block.digest)
+            self.retrieval.drop_pending(block.digest)
+            return
+        self._participate(block, src)
+        manager = self._manager_for_round(block.round)
+        if retrieved:
+            # Digest-pinned retrieval response: deliver directly, without
+            # waiting for an echo/ready quorum we may have missed entirely
+            # (the §IV-A catch-up path; see CbcManager.deliver_retrieved).
+            manager.deliver_retrieved(block.digest)
+        else:
+            manager.mark_ready(block.digest)
+
+    # -------------------------------------------------------------- delivery
+
+    def _on_deliver(self, block: Block) -> None:
+        """Broadcast-manager callback: the block is delivered (§II-B sense)."""
+        if not self.store.add(block):
+            return
+        self._last_delivery = self.net.now()
+        if self.on_deliver_hook is not None:
+            self.on_deliver_hook(block, self._last_delivery)
+        if self.protocol.weak_links and block.digest not in self._covered:
+            self._uncovered[block.digest] = block
+        self.retrieval.drop_pending(block.digest)
+        for dep, src, was_retrieved in self.retrieval.satisfied_by(block.digest):
+            self._finish_accept(dep, src, retrieved=was_retrieved)
+        self._after_deliver(block)
+        self._recheck_commits_for(block)
+        self._schedule_advance()
+
+    # -------------------------------------------------------------- proposing
+
+    def _try_advance(self) -> None:
+        while self._can_propose(self.next_round):
+            self._propose(self.next_round)
+            self.next_round += 1
+
+    def _can_propose(self, round_: int) -> bool:
+        ready = 0
+        for author in self.store.authors_in_round(round_ - 1):
+            candidate = self.store.block_in_slot(round_ - 1, author)
+            if candidate is not None and self._parent_allowed(candidate):
+                ready += 1
+        if ready < self._quorum:
+            return False
+        return self._can_propose_extra(round_)
+
+    def _choose_parents(self, round_: int) -> List[Digest]:
+        parents = []
+        for author in sorted(self.store.authors_in_round(round_ - 1)):
+            candidate = self._parent_in_slot(round_ - 1, author)
+            if candidate is not None and self._parent_allowed(candidate):
+                parents.append(candidate.digest)
+        return parents
+
+    def _parent_in_slot(self, round_: int, author: int) -> Optional[Block]:
+        """Which block of a slot to reference (LightDAG2 overrides for its
+        Rule-4 determinations)."""
+        return self.store.block_in_slot(round_, author)
+
+    def _propose(self, round_: int) -> None:
+        parents = self._choose_parents(round_)
+        if self.protocol.weak_links:
+            parents.extend(self._pick_weak_refs(round_, parents))
+            self._mark_covered(parents)
+        payload = self.payload_source(self.net.now())
+        block = self._build_block(round_, parents, payload)
+        self._my_latest_block = block
+        self._broadcast_block(block)
+        self._broadcast_coin_shares(round_)
+
+    def _pick_weak_refs(self, round_: int, strong_parents: List[Digest]) -> List[Digest]:
+        """Orphan pickup: reference delivered blocks our chain has never
+        covered, oldest first (DAG-Rider weak links)."""
+        strong_slots = set()
+        for digest in strong_parents:
+            parent = self.store.get_optional(digest)
+            if parent is not None:
+                strong_slots.add(parent.slot)
+        candidates = [
+            block
+            for block in self._uncovered.values()
+            if block.round < round_ - 1 and block.slot not in strong_slots
+        ]
+        candidates.sort(key=lambda b: (b.round, b.author))
+        return [b.digest for b in candidates[: self.protocol.max_weak_refs]]
+
+    def _mark_covered(self, parents: List[Digest]) -> None:
+        """Fold the new parents' ancestry into the covered set (each block
+        is walked exactly once across the node's lifetime)."""
+        stack = [d for d in parents if d not in self._covered]
+        while stack:
+            digest = stack.pop()
+            if digest in self._covered:
+                continue
+            self._covered.add(digest)
+            self._uncovered.pop(digest, None)
+            block = self.store.get_optional(digest)
+            if block is not None:
+                stack.extend(
+                    p for p in block.parents if p not in self._covered
+                )
+
+    def _broadcast_coin_shares(self, round_: int) -> None:
+        """Ship the GPC share for every wave whose *last* round this is."""
+        for wave_num, e in self.wave.waves_containing(round_):
+            if e == self.WAVE_LENGTH and wave_num not in self._sent_share_waves:
+                self._sent_share_waves.add(wave_num)
+                self.net.broadcast(CoinShareMsg(self.coin.make_share(wave_num)))
+
+    # -------------------------------------------------------------- the coin
+
+    def _on_coin_share(self, src: int, msg: CoinShareMsg) -> None:
+        if msg.wave in self.revealed_leaders:
+            return
+        leader = self.coin.add_share(msg.share)
+        if leader is not None:
+            self.revealed_leaders[msg.wave] = leader
+            self._on_leader_revealed(msg.wave, leader)
+
+    def _coin_sync_check(self) -> None:
+        """Coin-share recovery: if blocks prove a wave completed at other
+        replicas but we never revealed its coin (missed shares — partition,
+        crash window, dropped messages), ask peers to resend theirs.
+
+        Without this, a straggler's commit cascade defers forever on the
+        missing reveal (the paper avoids the problem by embedding shares in
+        blocks, which retrieval then recovers — see DESIGN.md §3)."""
+        horizon = self.store.highest_round()
+        now = self.net.now()
+        wave_num = self.last_settled_wave + 1
+        requested = 0
+        while self.wave.last_round(wave_num) <= horizon and requested < 8:
+            if wave_num not in self.revealed_leaders:
+                last = self._coin_requested.get(wave_num, -1e9)
+                if now - last >= 2 * COIN_SYNC_PERIOD:
+                    self._coin_requested[wave_num] = now
+                    self.net.broadcast(
+                        CoinShareRequest(wave_num), include_self=False
+                    )
+                    requested += 1
+            wave_num += 1
+
+        # Stall recovery: if nothing has been delivered for a while, some
+        # of our outbound traffic may have been lost (partition, drops) —
+        # re-broadcast the latest proposal.  Receivers that have it refresh
+        # their echoes; receivers that missed it join its broadcast now.
+        if (
+            self._my_latest_block is not None
+            and now - self._last_delivery > 2 * COIN_SYNC_PERIOD
+        ):
+            self._broadcast_block(self._my_latest_block)
+
+    def _on_leader_revealed(self, wave_num: int, leader: int) -> None:
+        self._try_direct_commit(wave_num)
+        for deferred in sorted(self._deferred_cascades):
+            self._try_direct_commit(deferred)
+        self._schedule_advance()
+
+    # -------------------------------------------------------------- committing
+
+    def leader_block_of(self, wave_num: int) -> Optional[Block]:
+        """The (unique, in strict mode) delivered block in a wave's leader
+        slot, or None."""
+        leader = self.revealed_leaders.get(wave_num)
+        if leader is None:
+            return None
+        return self.store.block_in_slot(self.wave.first_round(wave_num), leader)
+
+    def _support_round(self, wave_num: int) -> int:
+        return self.wave.first_round(wave_num) + self.SUPPORT_DEPTH
+
+    def _recheck_commits_for(self, block: Block) -> None:
+        for wave_num, e in self.wave.waves_containing(block.round):
+            if e == 1 or e == 1 + self.SUPPORT_DEPTH:
+                if wave_num in self.revealed_leaders:
+                    self._try_direct_commit(wave_num)
+
+    def _support_count(self, wave_num: int, leader_block: Block) -> int:
+        """Distinct-slot blocks in the support round referencing the leader
+        within SUPPORT_DEPTH parent hops."""
+        count = 0
+        for author in self.store.authors_in_round(self._support_round(wave_num)):
+            supporter = self.store.block_in_slot(self._support_round(wave_num), author)
+            if supporter is not None and self._references_within(
+                supporter, leader_block.digest, self.SUPPORT_DEPTH
+            ):
+                count += 1
+        return count
+
+    def _references_within(self, block: Block, target: Digest, depth: int) -> bool:
+        """Does ``block`` reach ``target`` in at most ``depth`` parent hops?"""
+        frontier = {block.digest}
+        for _ in range(depth):
+            next_frontier: Set[Digest] = set()
+            for digest in frontier:
+                holder = self.store.get_optional(digest)
+                if holder is None:
+                    continue
+                for parent in holder.parents:
+                    if parent == target:
+                        return True
+                    next_frontier.add(parent)
+            frontier = next_frontier
+        return False
+
+    def _try_direct_commit(self, wave_num: int) -> None:
+        if (
+            wave_num <= self.last_settled_wave
+            or wave_num in self.committed_leader_waves
+        ):
+            self._deferred_cascades.discard(wave_num)
+            return
+        leader_block = self.leader_block_of(wave_num)
+        if leader_block is None:
+            return
+        if self._support_count(wave_num, leader_block) < self._commit_support:
+            return
+        self._commit_cascade(wave_num, leader_block)
+
+    def _commit_cascade(self, v: int, leader_v: Block) -> None:
+        """Algorithm 1: walk back to the last committed leader, then commit
+        every delivered, referenced leader in wave order, then wave ``v``."""
+        u = max((w for w in self.committed_leader_waves if w < v), default=0)
+        for w in range(u + 1, v):
+            if w not in self.revealed_leaders:
+                # Cannot yet decide whether wave w's leader must be cascaded
+                # in; defer the whole cascade until its coin reveals.
+                self._deferred_cascades.add(v)
+                return
+        self._deferred_cascades.discard(v)
+        for w in range(u + 1, v):
+            candidate = self._cascade_candidate(w, leader_v)
+            if candidate is not None:
+                self._commit_leader(candidate, w)
+        self._commit_leader(leader_v, v)
+        self.last_settled_wave = max(self.last_settled_wave, v)
+        self._maybe_prune()
+
+    def _cascade_candidate(self, w: int, leader_v: Block) -> Optional[Block]:
+        """The wave-``w`` leader block to commit indirectly through
+        ``leader_v``, or None if the wave must stay skipped (Fig. 5/6)."""
+        candidate = self.leader_block_of(w)
+        if candidate is not None and is_ancestor(candidate.digest, leader_v, self.store):
+            return candidate
+        return None
+
+    def _commit_leader(self, leader: Block, wave_num: int) -> None:
+        if wave_num in self.committed_leader_waves:
+            return
+        self.committed_leader_waves.add(wave_num)
+        k = self.ledger.begin_leader()
+        now = self.net.now()
+        for block in self._commit_scope(leader):
+            record = self.ledger.append(block, now, leader.digest, k)
+            if self.on_commit is not None:
+                self.on_commit(record)
+
+    def _commit_scope(self, leader: Block) -> List[Block]:
+        """The blocks this leader commits: uncommitted ancestors, bounded
+        below by the deterministic GC horizon when one is configured.
+
+        The horizon depends only on the leader's round, so every replica
+        commits the identical set regardless of local pruning state."""
+        gc_depth = self.protocol.gc_depth
+        committed = self.ledger.committed_digests
+        if gc_depth is None:
+            return uncommitted_ancestors(leader, self.store, committed)
+        floor = leader.round - gc_depth
+        from ..dag.traversal import ancestors_of
+
+        scope = [
+            block
+            for block in ancestors_of(
+                leader,
+                self.store,
+                stop=lambda b: b.digest in committed or b.round < floor,
+            )
+            if not block.is_genesis
+        ]
+        scope.sort(key=lambda b: (b.round, b.author, b.repropose_index))
+        return scope
+
+    def _maybe_prune(self) -> None:
+        """Physically drop history far below the settled frontier."""
+        gc_depth = self.protocol.gc_depth
+        if gc_depth is None or self.last_settled_wave < 1:
+            return
+        horizon = (
+            self.wave.first_round(self.last_settled_wave)
+            - gc_depth
+            - self.WAVE_LENGTH
+        )
+        if horizon > 1:
+            self.store.prune_below(horizon)
+
+    # -------------------------------------------------------------- metrics
+
+    @property
+    def committed_blocks(self) -> int:
+        return len(self.ledger)
+
+    @property
+    def current_round(self) -> int:
+        return self.next_round - 1

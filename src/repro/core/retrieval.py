@@ -1,0 +1,196 @@
+"""The block retrieval mechanism (§IV-A).
+
+CBC and PBC lack totality, so a replica can receive a block ``B`` whose
+ancestors it never delivered.  Retrieval patches the hole:
+
+    "when a replica p_i receives a block B through the VAL step of CBC from
+    another replica p_j, p_i checks whether it has already delivered all
+    parent blocks of B.  If not, p_i sends a request to retrieve the
+    missing blocks by including their hashes in the request. [...]  This
+    block retrieval process continues until p_i has delivered all the
+    ancestors of B.  Then, p_i participates in the CBC process of B."
+
+This manager tracks *pending* blocks (received, parents missing), issues
+requests, answers peers' requests from the local store, and — because the
+first-choice responder may be faulty — retries against other candidates on
+a timer.  The owning node funnels every received block body through
+:meth:`note_pending` / :meth:`satisfied_by` and re-enters its accept path
+for whatever becomes complete.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from ..crypto.hashing import Digest
+from ..dag.block import Block
+from ..dag.store import DagStore
+from ..net.interfaces import NetworkAPI
+from ..broadcast.messages import RetrievalRequest, RetrievalResponse
+
+#: Timer tag used for retrieval retries (owned by the node's timer space).
+RETRY_TAG = "retrieval-retry"
+
+#: Seconds before re-requesting a still-missing block from someone else.
+DEFAULT_RETRY_DELAY = 0.5
+
+
+@dataclass
+class _Pending:
+    """A received-but-incomplete block and who could supply its parents."""
+
+    block: Block
+    src: int
+    missing: Set[Digest] = field(default_factory=set)
+    #: whether this block itself arrived through retrieval (digest-pinned)
+    retrieved: bool = False
+
+
+class RetrievalManager:
+    """Per-replica retrieval state machine."""
+
+    def __init__(
+        self,
+        net: NetworkAPI,
+        store: DagStore,
+        seed: int = 0,
+        retry_delay: float = DEFAULT_RETRY_DELAY,
+        enabled: bool = True,
+    ) -> None:
+        self.net = net
+        self.store = store
+        self.retry_delay = retry_delay
+        self.enabled = enabled
+        self.rng = random.Random(f"retrieval:{net.node_id}:{seed}")
+        #: blocks waiting for parents, keyed by their digest
+        self._pending: Dict[Digest, _Pending] = {}
+        #: reverse index: missing parent digest -> dependent block digests
+        self._dependents: Dict[Digest, Set[Digest]] = {}
+        #: digests with an in-flight request (avoid duplicate asks)
+        self._inflight: Dict[Digest, int] = {}
+        #: every digest we ever requested — responses are only honored for
+        #: these (an unsolicited "gift" block is not digest-authenticated)
+        self._requested: Set[Digest] = set()
+        #: statistics for the ablation bench
+        self.requests_sent = 0
+        self.responses_sent = 0
+        self.blocks_served = 0
+
+    # -- registering incomplete blocks -----------------------------------------
+
+    def note_pending(
+        self, block: Block, src: int, missing: List[Digest], retrieved: bool = False
+    ) -> None:
+        """Register ``block`` as waiting for ``missing`` parents and request
+        them from ``src`` (the replica that sent us the block — if it is
+        non-faulty it holds every ancestor, §IV-A)."""
+        if block.digest in self._pending:
+            return
+        entry = _Pending(block=block, src=src, missing=set(missing), retrieved=retrieved)
+        self._pending[block.digest] = entry
+        for parent in entry.missing:
+            self._dependents.setdefault(parent, set()).add(block.digest)
+        self._request(list(entry.missing), src)
+
+    def is_pending(self, digest: Digest) -> bool:
+        return digest in self._pending
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def _request(self, digests: List[Digest], dst: int) -> None:
+        if not self.enabled:
+            return
+        to_ask = [d for d in digests if d not in self._inflight and d not in self.store]
+        if not to_ask:
+            return
+        for d in to_ask:
+            self._inflight[d] = dst
+            self._requested.add(d)
+        self.requests_sent += 1
+        self.net.send(dst, RetrievalRequest(digests=tuple(to_ask)))
+        for d in to_ask:
+            self.net.set_timer(self.retry_delay, RETRY_TAG, d)
+
+    # -- responder side ----------------------------------------------------------
+
+    def on_request(self, src: int, request: RetrievalRequest) -> None:
+        """Answer with every requested block we have delivered."""
+        blocks = tuple(
+            self.store.get(d) for d in request.digests if d in self.store
+        )
+        if blocks:
+            self.responses_sent += 1
+            self.blocks_served += len(blocks)
+            self.net.send(src, RetrievalResponse(blocks=blocks))
+
+    # -- requester side -----------------------------------------------------------
+
+    def on_response(self, src: int, response: RetrievalResponse) -> List[Tuple[Block, int]]:
+        """Hand back the retrieved bodies for the node's accept path.
+
+        The accept path itself decides what a retrieved block means for its
+        own broadcast instance (a CBC block still needs its echo quorum; a
+        PBC block can complete immediately).
+        """
+        out: List[Tuple[Block, int]] = []
+        for block in response.blocks:
+            if block.digest not in self._requested:
+                continue  # unsolicited block: not digest-pinned, ignore
+            self._inflight.pop(block.digest, None)
+            out.append((block, src))
+        return out
+
+    def on_retry_timer(self, digest: Digest, candidates: Set[int]) -> None:
+        """Retry a still-missing block against a different replica.
+
+        ``candidates`` are replicas known to hold the block (echoers); if
+        empty, any replica other than the previous responder is tried —
+        an honest one that delivered the dependent's ancestry will answer.
+        """
+        if digest in self.store or digest not in self._inflight:
+            return
+        previous = self._inflight.pop(digest)
+        pool = [c for c in candidates if c != previous and c != self.net.node_id]
+        if not pool:
+            pool = [
+                i
+                for i in range(self.net.n)
+                if i not in (previous, self.net.node_id)
+            ]
+        if not pool:
+            pool = [previous]
+        self._request([digest], self.rng.choice(pool))
+
+    # -- progress on deliveries ------------------------------------------------
+
+    def satisfied_by(self, delivered: Digest) -> List[Tuple[Block, int, bool]]:
+        """Called when any block is delivered; returns ``(block, src,
+        retrieved)`` triples whose parent sets just became complete (ready
+        for re-acceptance)."""
+        self._inflight.pop(delivered, None)
+        ready: List[Tuple[Block, int, bool]] = []
+        for dep_digest in self._dependents.pop(delivered, ()):  # noqa: B020
+            entry = self._pending.get(dep_digest)
+            if entry is None:
+                continue
+            entry.missing.discard(delivered)
+            if not entry.missing:
+                del self._pending[dep_digest]
+                ready.append((entry.block, entry.src, entry.retrieved))
+        return ready
+
+    def drop_pending(self, digest: Digest) -> None:
+        """Forget a pending block (it was delivered through another path or
+        proved invalid)."""
+        entry = self._pending.pop(digest, None)
+        if entry is None:
+            return
+        for parent in entry.missing:
+            deps = self._dependents.get(parent)
+            if deps is not None:
+                deps.discard(digest)
+                if not deps:
+                    del self._dependents[parent]

@@ -1,0 +1,129 @@
+"""Pluggable signing backends.
+
+Every authenticated protocol message goes through a :class:`CryptoBackend`.
+Three implementations trade realism for simulation speed:
+
+* :class:`SchnorrBackend` — real Schnorr signatures; the adversary cannot
+  forge them even in principle.  Use for correctness-focused runs.
+* :class:`HmacBackend` — keyed SHA-256 MACs derived from a dealer secret.
+  Within the simulation's closed world this is sound (simulated Byzantine
+  replicas do not exploit the shared derivation), and it is ~50× faster.
+  This is the default for benchmarks.
+* :class:`NullBackend` — size-accounted no-op for very large sweeps where
+  signature bytes must still occupy bandwidth but CPU must not be spent.
+
+All backends expose the same interface, sign/verify 32-byte digests, and
+report a modeled wire size so the network simulator charges the same
+bandwidth regardless of backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from abc import ABC, abstractmethod
+
+from ..config import SystemConfig
+from ..errors import CryptoError
+from .hashing import Digest
+from .keys import KeyChain
+from .schnorr import SIGNATURE_SIZE, SchnorrSignature, schnorr_sign, schnorr_verify
+
+
+class CryptoBackend(ABC):
+    """Signs and verifies message digests on behalf of one replica."""
+
+    #: Bytes a signature occupies on the wire (for the bandwidth model).
+    signature_size: int = SIGNATURE_SIZE
+
+    @abstractmethod
+    def sign(self, message: Digest) -> object:
+        """Sign a digest with this replica's key."""
+
+    @abstractmethod
+    def verify(self, signer: int, message: Digest, signature: object) -> bool:
+        """Verify ``signer``'s signature on ``message``."""
+
+
+class SchnorrBackend(CryptoBackend):
+    """Real Schnorr signatures over the library group."""
+
+    def __init__(self, keychain: KeyChain) -> None:
+        self.keychain = keychain
+        self.group = keychain.group
+
+    def sign(self, message: Digest) -> SchnorrSignature:
+        return schnorr_sign(self.group, self.keychain.keypair, message)
+
+    def verify(self, signer: int, message: Digest, signature: object) -> bool:
+        if not isinstance(signature, SchnorrSignature):
+            return False
+        pk = self.keychain.public_keys.get(signer)
+        if pk is None:
+            return False
+        return schnorr_verify(self.group, pk, message, signature)
+
+
+class HmacBackend(CryptoBackend):
+    """Keyed-MAC stand-in: ``sig = HMAC(H(dealer_secret, signer), message)``.
+
+    Every replica can derive every key, so this is *not* unforgeable against
+    a real attacker — it is unforgeable against the simulated adversaries in
+    this repository, which never synthesize MACs for other identities.  The
+    substitution is documented in DESIGN.md §2.
+    """
+
+    def __init__(self, replica_id: int, system: SystemConfig) -> None:
+        self.replica_id = replica_id
+        self._root = hashlib.sha256(
+            f"hmac-root:{system.seed}:{system.n}".encode()
+        ).digest()
+        self._keys = {
+            i: hashlib.sha256(self._root + i.to_bytes(4, "big")).digest()
+            for i in range(system.n)
+        }
+
+    def _key_for(self, signer: int) -> bytes:
+        try:
+            return self._keys[signer]
+        except KeyError:
+            raise CryptoError(f"unknown signer {signer}") from None
+
+    def sign(self, message: Digest) -> bytes:
+        return hmac.new(self._key_for(self.replica_id), message, hashlib.sha256).digest()
+
+    def verify(self, signer: int, message: Digest, signature: object) -> bool:
+        if not isinstance(signature, bytes) or signer not in self._keys:
+            return False
+        expected = hmac.new(self._keys[signer], message, hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature)
+
+
+class NullBackend(CryptoBackend):
+    """No-op backend: empty signatures that always verify.
+
+    Only for throughput sweeps where per-message CPU would distort the
+    simulated-time measurements; never use when an adversary that forges is
+    part of the experiment.
+    """
+
+    def sign(self, message: Digest) -> bytes:
+        return b""
+
+    def verify(self, signer: int, message: Digest, signature: object) -> bool:
+        return True
+
+
+def make_backend(
+    name: str, replica_id: int, system: SystemConfig, keychain: KeyChain | None = None
+) -> CryptoBackend:
+    """Factory matching :attr:`SystemConfig.crypto` names to backends."""
+    if name == "schnorr":
+        if keychain is None:
+            raise CryptoError("schnorr backend requires a KeyChain")
+        return SchnorrBackend(keychain)
+    if name == "hmac":
+        return HmacBackend(replica_id, system)
+    if name == "null":
+        return NullBackend()
+    raise CryptoError(f"unknown crypto backend {name!r}")

@@ -1,0 +1,109 @@
+"""Schnorr group arithmetic over an embedded safe prime.
+
+A *Schnorr group* is the order-``q`` subgroup of quadratic residues of
+``Z_p^*`` where ``p = 2q + 1`` is a safe prime.  Every non-trivial element
+generates the subgroup, discrete logs live in ``Z_q``, and membership is
+cheap to test (``x^q == 1 mod p``).  This single structure backs:
+
+* Schnorr signatures (:mod:`repro.crypto.schnorr`),
+* the threshold PRF / Global Perfect Coin (:mod:`repro.crypto.threshold`),
+* Chaum-Pedersen DLEQ proofs for coin-share verification.
+
+The group is a value object; all operations take plain ints and return
+plain ints so there is no per-element wrapper overhead in hot loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CryptoError
+from .hashing import hash_to_int
+from .primes import SAFE_PRIMES, SafePrime
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """The quadratic-residue subgroup of ``Z_p^*`` for a safe prime ``p``."""
+
+    p: int
+    q: int
+    g: int
+
+    @classmethod
+    def from_safe_prime(cls, sp: SafePrime) -> "SchnorrGroup":
+        return cls(p=sp.p, q=sp.q, g=sp.g)
+
+    # -- element operations -------------------------------------------------
+
+    def exp(self, base: int, e: int) -> int:
+        """``base ** e mod p`` with the exponent reduced mod ``q``."""
+        return pow(base, e % self.q, self.p)
+
+    def mul(self, a: int, b: int) -> int:
+        """Group multiplication."""
+        return a * b % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse in ``Z_p^*``."""
+        return pow(a, -1, self.p)
+
+    def is_member(self, x: int) -> bool:
+        """Subgroup membership test: ``x in (0, p)`` and ``x^q == 1``."""
+        return 0 < x < self.p and pow(x, self.q, self.p) == 1
+
+    # -- scalars and encodings ----------------------------------------------
+
+    def random_scalar(self, rng) -> int:
+        """Uniform exponent in ``[1, q)`` from a ``random.Random``-like rng."""
+        return rng.randrange(1, self.q)
+
+    def scalar_from_hash(self, *fields) -> int:
+        """Map arbitrary fields to a nonzero scalar in ``[1, q)``.
+
+        Used for Fiat-Shamir challenges and deterministic nonces.  The
+        modular reduction bias is negligible for q near a power of two and
+        irrelevant at simulation-grade security.
+        """
+        return hash_to_int("scalar", *fields) % (self.q - 1) + 1
+
+    def hash_to_group(self, *fields) -> int:
+        """Map arbitrary fields to a subgroup element (square of a hash).
+
+        Squaring lands the value in the quadratic-residue subgroup; a zero
+        preimage (probability ~2^-256) is remapped by re-hashing.
+        """
+        counter = 0
+        while True:
+            x = hash_to_int("h2g", counter, *fields) % self.p
+            if x not in (0, 1, self.p - 1):
+                return x * x % self.p
+            counter += 1
+
+    def element_to_bytes(self, x: int) -> bytes:
+        """Fixed-width big-endian encoding of a group element."""
+        width = (self.p.bit_length() + 7) // 8
+        return x.to_bytes(width, "big")
+
+    def ensure_member(self, x: int, what: str = "element") -> int:
+        """Return ``x`` if it is a subgroup member, else raise."""
+        if not self.is_member(x):
+            raise CryptoError(f"{what} {x!r} is not a member of the Schnorr group")
+        return x
+
+
+_DEFAULT_CACHE: dict[int, SchnorrGroup] = {}
+
+
+def default_group(bits: int = 256) -> SchnorrGroup:
+    """The library-wide default group for the given modulus size."""
+    if bits not in _DEFAULT_CACHE:
+        try:
+            sp = SAFE_PRIMES[bits]
+        except KeyError:
+            raise CryptoError(
+                f"no embedded safe prime of {bits} bits; available: "
+                f"{sorted(SAFE_PRIMES)}"
+            ) from None
+        _DEFAULT_CACHE[bits] = SchnorrGroup.from_safe_prime(sp)
+    return _DEFAULT_CACHE[bits]

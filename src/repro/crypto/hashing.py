@@ -1,0 +1,94 @@
+"""Hashing helpers shared across the library.
+
+Block identifiers, broadcast tags, and coin inputs all reduce to SHA-256
+digests.  :func:`hash_fields` provides a canonical, injective encoding of a
+tuple of heterogeneous fields (ints, bytes, strings, nested tuples/lists)
+so two different field tuples can never produce the same preimage — each
+element is length-prefixed and type-tagged before hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+#: A SHA-256 digest; the universal identifier type in this library.
+Digest = bytes
+
+#: Size of a digest in bytes (used by the network size model).
+DIGEST_SIZE = 32
+
+Field = Union[int, bytes, str, bool, None, tuple, list]
+
+
+def hash_bytes(data: bytes) -> Digest:
+    """SHA-256 of raw bytes."""
+    return hashlib.sha256(data).digest()
+
+
+def _encode_field(h: "hashlib._Hash", field: Field) -> None:
+    if field is None:
+        h.update(b"N")
+    elif isinstance(field, bool):  # must precede int (bool is an int subclass)
+        h.update(b"B1" if field else b"B0")
+    elif isinstance(field, int):
+        raw = field.to_bytes((field.bit_length() + 8) // 8 or 1, "big", signed=True)
+        h.update(b"I")
+        h.update(len(raw).to_bytes(4, "big"))
+        h.update(raw)
+    elif isinstance(field, bytes):
+        h.update(b"Y")
+        h.update(len(field).to_bytes(8, "big"))
+        h.update(field)
+    elif isinstance(field, str):
+        raw = field.encode("utf-8")
+        h.update(b"S")
+        h.update(len(raw).to_bytes(8, "big"))
+        h.update(raw)
+    elif isinstance(field, (tuple, list)):
+        h.update(b"T")
+        h.update(len(field).to_bytes(8, "big"))
+        for item in field:
+            _encode_field(h, item)
+    else:
+        raise TypeError(f"unhashable field type {type(field).__name__}")
+
+
+def hash_fields(*fields: Field) -> Digest:
+    """Canonical injective hash of a heterogeneous field tuple.
+
+    >>> hash_fields(1, b"x") != hash_fields(b"x", 1)
+    True
+    """
+    h = hashlib.sha256()
+    _encode_field(h, tuple(fields))
+    return h.digest()
+
+
+def hash_to_int(*fields: Field) -> int:
+    """Hash fields and interpret the digest as a big-endian integer."""
+    return int.from_bytes(hash_fields(*fields), "big")
+
+
+def merkle_root(leaves: Iterable[Digest]) -> Digest:
+    """Simple binary Merkle root over a leaf list (empty list → zero hash).
+
+    Used by the size/validation model for transaction batches; odd levels
+    duplicate the last node (Bitcoin-style).
+    """
+    level = [hash_bytes(b"leaf:" + leaf) for leaf in leaves]
+    if not level:
+        return bytes(DIGEST_SIZE)
+    while len(level) > 1:
+        if len(level) % 2 == 1:
+            level.append(level[-1])
+        level = [
+            hash_bytes(b"node:" + level[i] + level[i + 1])
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+def short_hex(digest: Digest, length: int = 8) -> str:
+    """Human-readable prefix of a digest, for logs and reprs."""
+    return digest.hex()[:length]

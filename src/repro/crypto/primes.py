@@ -1,0 +1,106 @@
+"""Embedded safe primes and primality testing.
+
+Safe primes ``p = 2q + 1`` (with ``q`` prime) define the Schnorr groups used
+by the signature scheme and the threshold coin.  Generating safe primes is
+slow, so two are precomputed (found by a seeded search and verified by
+Miller-Rabin at import time in the test suite):
+
+* :data:`SAFE_PRIME_256` — default; fast enough for simulations with tens of
+  thousands of signatures.  **Not** cryptographically strong.
+* :data:`SAFE_PRIME_512` — for users who want a bigger margin while staying
+  pure Python.
+
+Both moduli use ``g = 4`` as generator of the order-``q`` quadratic-residue
+subgroup (4 is a QR for every safe prime ``p > 5`` since ``4 = 2²``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test.
+
+    With ``rounds=40`` the error probability is below ``4**-40``, far beyond
+    anything a simulation can observe.  A seeded ``rng`` makes the test
+    deterministic for reproducible test runs.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = rng or random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_safe_prime(p: int, rounds: int = 40) -> bool:
+    """True if both ``p`` and ``(p - 1) / 2`` are (probable) primes."""
+    return p % 2 == 1 and is_probable_prime(p, rounds) and is_probable_prime((p - 1) // 2, rounds)
+
+
+@dataclass(frozen=True)
+class SafePrime:
+    """A safe prime ``p = 2q + 1`` with subgroup generator ``g``."""
+
+    bits: int
+    p: int
+    q: int
+    g: int = 4
+
+    def __post_init__(self) -> None:
+        assert self.p == 2 * self.q + 1, "p must equal 2q + 1"
+
+
+#: 256-bit safe prime (default group modulus).
+SAFE_PRIME_256 = SafePrime(
+    bits=256,
+    p=0xDB941A957233C6D83BDEEE21ED58BDD86094993D0723E29D86108588ECE550DB,
+    q=0x6DCA0D4AB919E36C1DEF7710F6AC5EEC304A4C9E8391F14EC30842C47672A86D,
+)
+
+#: 512-bit safe prime (higher-margin alternative).
+SAFE_PRIME_512 = SafePrime(
+    bits=512,
+    p=0xC210A48F50891FED9617465470D8AC3F0835FE784A6E5329DF7D29F31CE226C4498982DEC94B469BFBAE9EA3FEC374B998430283A5D9E8CCDD8AF1A8DC335B67,
+    q=0x61085247A8448FF6CB0BA32A386C561F841AFF3C25372994EFBE94F98E71136224C4C16F64A5A34DFDD74F51FF61BA5CCC218141D2ECF4666EC578D46E19ADB3,
+)
+
+SAFE_PRIMES = {256: SAFE_PRIME_256, 512: SAFE_PRIME_512}
+
+
+def find_safe_prime(bits: int, seed: int = 0) -> SafePrime:
+    """Search for a fresh safe prime of the given size (slow; test helper).
+
+    Used by tests to cross-check the embedded constants and by users who
+    want a modulus not published in this source tree.
+    """
+    rng = random.Random(seed)
+    while True:
+        q = rng.getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        if is_probable_prime(q, rounds=20, rng=rng) and is_probable_prime(
+            2 * q + 1, rounds=20, rng=rng
+        ):
+            return SafePrime(bits=bits, p=2 * q + 1, q=q)

@@ -1,0 +1,91 @@
+"""Schnorr signatures over the library's safe-prime group.
+
+This is the concrete PKI the paper assumes (§III-A): every replica holds a
+key pair, every protocol message that needs authentication carries a
+signature, and the adversary cannot forge signatures of non-faulty replicas.
+
+The scheme is textbook Schnorr with deterministic (RFC-6979-style) nonces so
+signing is side-effect free and reproducible:
+
+* key: ``sk ∈ Z_q``, ``pk = g^sk``
+* sign(m): ``k = H(sk, m)``; ``R = g^k``; ``c = H(R, pk, m)``;
+  ``s = k + c·sk mod q``; signature = ``(c, s)``
+* verify: recompute ``R' = g^s · pk^{-c}`` and check ``c == H(R', pk, m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SignatureError
+from .group import SchnorrGroup
+from .hashing import Digest, hash_fields
+
+#: Modeled wire size of a Schnorr signature: two 32-byte scalars.
+SIGNATURE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A ``(c, s)`` Schnorr signature pair."""
+
+    c: int
+    s: int
+
+
+@dataclass(frozen=True)
+class SchnorrKeyPair:
+    """A replica's signing key pair."""
+
+    sk: int
+    pk: int
+
+    @classmethod
+    def generate(cls, group: SchnorrGroup, rng) -> "SchnorrKeyPair":
+        sk = group.random_scalar(rng)
+        return cls(sk=sk, pk=group.exp(group.g, sk))
+
+    @classmethod
+    def from_seed(cls, group: SchnorrGroup, *seed_fields) -> "SchnorrKeyPair":
+        """Deterministic key derivation (used by the trusted dealer)."""
+        sk = group.scalar_from_hash("keygen", *seed_fields)
+        return cls(sk=sk, pk=group.exp(group.g, sk))
+
+
+def _challenge(group: SchnorrGroup, commitment: int, pk: int, message: Digest) -> int:
+    return group.scalar_from_hash("schnorr-c", commitment, pk, message)
+
+
+def schnorr_sign(group: SchnorrGroup, keypair: SchnorrKeyPair, message: Digest) -> SchnorrSignature:
+    """Sign a 32-byte message digest with a deterministic nonce."""
+    k = group.scalar_from_hash("schnorr-k", keypair.sk, message)
+    commitment = group.exp(group.g, k)
+    c = _challenge(group, commitment, keypair.pk, message)
+    s = (k + c * keypair.sk) % group.q
+    return SchnorrSignature(c=c, s=s)
+
+
+def schnorr_verify(
+    group: SchnorrGroup, pk: int, message: Digest, sig: SchnorrSignature
+) -> bool:
+    """Verify a signature; returns False rather than raising on bad input."""
+    if not (0 < sig.c < group.q and 0 <= sig.s < group.q):
+        return False
+    if not group.is_member(pk):
+        return False
+    # R' = g^s * pk^{-c}
+    commitment = group.mul(group.exp(group.g, sig.s), group.inv(group.exp(pk, sig.c)))
+    return _challenge(group, commitment, pk, message) == sig.c
+
+
+def require_valid(
+    group: SchnorrGroup, pk: int, message: Digest, sig: SchnorrSignature, what: str
+) -> None:
+    """Verify and raise :class:`SignatureError` with context on failure."""
+    if not schnorr_verify(group, pk, message, sig):
+        raise SignatureError(f"invalid signature on {what}")
+
+
+def signature_digest(sig: SchnorrSignature) -> Digest:
+    """Stable digest of a signature, for inclusion in hashed structures."""
+    return hash_fields("sigdig", sig.c, sig.s)

@@ -1,0 +1,178 @@
+"""Threshold PRF with verifiable partial evaluations.
+
+This is the primitive the Global Perfect Coin is built on (the paper
+implements its GPC with threshold signatures; a threshold PRF is the same
+object viewed output-first — Cachin-Kursawe-Shoup's common coin [19]).
+
+Construction
+------------
+The dealer shares a secret ``s`` (Shamir, threshold ``t``) and publishes
+verification keys ``vk_i = g^{s_i}``.  For an input ``m``:
+
+* ``h = hash_to_group(m)``,
+* replica ``i``'s partial evaluation is ``σ_i = h^{s_i}`` together with a
+  Chaum-Pedersen DLEQ proof that ``log_g vk_i == log_h σ_i`` (so a Byzantine
+  replica cannot inject a bogus share),
+* any ``t`` verified partials combine by Lagrange interpolation *in the
+  exponent*: ``F(m) = h^s = Π σ_j^{λ_j}``.
+
+``F(m)`` is unpredictable until ``t`` partials exist — exactly the GPC's
+threshold-reveal property (§III-B.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import ThresholdError
+from .group import SchnorrGroup
+from .hashing import Digest, hash_to_int
+from .shamir import ShamirShare, lagrange_at_zero
+
+#: Modeled wire size of a partial evaluation (element + DLEQ proof).
+PARTIAL_EVAL_SIZE = 32 + 64
+
+
+@dataclass(frozen=True)
+class DleqProof:
+    """Chaum-Pedersen proof that two elements share one discrete log."""
+
+    c: int
+    s: int
+
+
+@dataclass(frozen=True)
+class PartialEval:
+    """Replica ``index``'s partial PRF evaluation on some input."""
+
+    index: int  # replica id (0-based); the Shamir point is index + 1
+    value: int  # h^{s_i}
+    proof: DleqProof
+
+
+def _dleq_challenge(
+    group: SchnorrGroup, g1: int, h1: int, g2: int, h2: int, a1: int, a2: int
+) -> int:
+    return group.scalar_from_hash("dleq", g1, h1, g2, h2, a1, a2)
+
+
+def dleq_prove(
+    group: SchnorrGroup, exponent: int, g1: int, g2: int
+) -> tuple[int, int, DleqProof]:
+    """Prove knowledge of ``x`` with ``h1 = g1^x`` and ``h2 = g2^x``.
+
+    Returns ``(h1, h2, proof)``.  The nonce is derived deterministically
+    from the witness and bases, mirroring the signature scheme.
+    """
+    h1 = group.exp(g1, exponent)
+    h2 = group.exp(g2, exponent)
+    k = group.scalar_from_hash("dleq-k", exponent, g1, g2)
+    a1 = group.exp(g1, k)
+    a2 = group.exp(g2, k)
+    c = _dleq_challenge(group, g1, h1, g2, h2, a1, a2)
+    s = (k + c * exponent) % group.q
+    return h1, h2, DleqProof(c=c, s=s)
+
+
+def dleq_verify(
+    group: SchnorrGroup, g1: int, h1: int, g2: int, h2: int, proof: DleqProof
+) -> bool:
+    """Verify a Chaum-Pedersen DLEQ proof."""
+    if not (0 < proof.c < group.q and 0 <= proof.s < group.q):
+        return False
+    if not (group.is_member(h1) and group.is_member(h2)):
+        return False
+    a1 = group.mul(group.exp(g1, proof.s), group.inv(group.exp(h1, proof.c)))
+    a2 = group.mul(group.exp(g2, proof.s), group.inv(group.exp(h2, proof.c)))
+    return _dleq_challenge(group, g1, h1, g2, h2, a1, a2) == proof.c
+
+
+class ThresholdPRF:
+    """Shared-key threshold PRF; one instance per replica.
+
+    Parameters
+    ----------
+    group:
+        The Schnorr group.
+    threshold:
+        Number of partials needed to evaluate.
+    share:
+        This replica's Shamir share of the master secret (``None`` for a
+        pure verifier/combiner, e.g. a metrics observer).
+    verification_keys:
+        Mapping of replica id to ``g^{s_i}`` for proof verification.
+    """
+
+    def __init__(
+        self,
+        group: SchnorrGroup,
+        threshold: int,
+        share: ShamirShare | None,
+        verification_keys: Mapping[int, int],
+    ) -> None:
+        if threshold < 1:
+            raise ThresholdError(f"threshold must be >= 1, got {threshold}")
+        self.group = group
+        self.threshold = threshold
+        self.share = share
+        self.verification_keys = dict(verification_keys)
+
+    def input_element(self, message: Digest) -> int:
+        """The group element ``h = H(m)`` every partial is computed on."""
+        return self.group.hash_to_group("tprf-in", message)
+
+    def partial_eval(self, message: Digest) -> PartialEval:
+        """This replica's verified partial evaluation on ``message``."""
+        if self.share is None:
+            raise ThresholdError("verifier-only instance holds no share")
+        h = self.input_element(message)
+        _, value, proof = dleq_prove(self.group, self.share.y, self.group.g, h)
+        return PartialEval(index=self.share.x - 1, value=value, proof=proof)
+
+    def verify_partial(self, message: Digest, partial: PartialEval) -> bool:
+        """Check a partial's DLEQ proof against its verification key."""
+        vk = self.verification_keys.get(partial.index)
+        if vk is None:
+            return False
+        h = self.input_element(message)
+        return dleq_verify(self.group, self.group.g, vk, h, partial.value, partial.proof)
+
+    def combine(self, message: Digest, partials: Iterable[PartialEval]) -> int:
+        """Combine ``threshold`` partials into ``F(m) = h^s`` (verifying each)."""
+        selected: dict[int, PartialEval] = {}
+        for partial in partials:
+            if partial.index not in selected:
+                selected[partial.index] = partial
+            if len(selected) == self.threshold:
+                break
+        if len(selected) < self.threshold:
+            raise ThresholdError(
+                f"need {self.threshold} distinct partials, got {len(selected)}"
+            )
+        for partial in selected.values():
+            if not self.verify_partial(message, partial):
+                raise ThresholdError(
+                    f"partial evaluation from replica {partial.index} failed "
+                    f"DLEQ verification"
+                )
+        points = [p.index + 1 for p in selected.values()]
+        lam = lagrange_at_zero(points, self.group.q)
+        result = 1
+        for partial in selected.values():
+            result = self.group.mul(
+                result, self.group.exp(partial.value, lam[partial.index + 1])
+            )
+        return result
+
+
+def combine_partials(
+    prf: ThresholdPRF, message: Digest, partials: Iterable[PartialEval]
+) -> int:
+    """Module-level convenience wrapper over :meth:`ThresholdPRF.combine`."""
+    return prf.combine(message, partials)
+
+
+def prf_output_to_int(group: SchnorrGroup, element: int) -> int:
+    """Map the PRF output element to a uniform integer (hash of encoding)."""
+    return hash_to_int("tprf-out", group.element_to_bytes(element))

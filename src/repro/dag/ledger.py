@@ -1,0 +1,122 @@
+"""The committed ledger.
+
+Commitment assigns every block a position in a totally ordered sequence —
+the object the safety property speaks about ("two non-faulty replicas
+commit blocks B and B' at the same position ⇒ B = B'", §II-A).  The ledger
+records that sequence together with enough metadata for the metrics layer
+(commit time, the leader that triggered the commit) and for the test
+harness's cross-replica prefix checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set
+
+from ..crypto.hashing import Digest
+from ..errors import ProtocolError
+from .block import Block
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed block with its position and provenance."""
+
+    position: int
+    block: Block
+    commit_time: float
+    #: Digest of the (directly or indirectly committed) leader whose
+    #: commitment pulled this block in; equals the block's own digest for
+    #: leader blocks.
+    via_leader: Digest
+    #: Index k of the committed-leader sequence this block was ordered under.
+    leader_index: int
+
+
+class Ledger:
+    """Append-only committed sequence with O(1) membership checks."""
+
+    def __init__(self) -> None:
+        self._records: List[CommitRecord] = []
+        self._committed: Set[Digest] = set()
+        self._leader_count = 0
+
+    # -- appends ---------------------------------------------------------------
+
+    def begin_leader(self) -> int:
+        """Start a new committed-leader index ``k`` and return it."""
+        self._leader_count += 1
+        return self._leader_count - 1
+
+    def append(
+        self, block: Block, commit_time: float, via_leader: Digest, leader_index: int
+    ) -> CommitRecord:
+        """Commit one block at the next position."""
+        if block.digest in self._committed:
+            raise ProtocolError(
+                f"block {block.digest.hex()[:8]} committed twice"
+            )
+        record = CommitRecord(
+            position=len(self._records),
+            block=block,
+            commit_time=commit_time,
+            via_leader=via_leader,
+            leader_index=leader_index,
+        )
+        self._records.append(record)
+        self._committed.add(block.digest)
+        return record
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[CommitRecord]:
+        return iter(self._records)
+
+    def __contains__(self, digest: Digest) -> bool:
+        return digest in self._committed
+
+    @property
+    def committed_digests(self) -> Set[Digest]:
+        """Live view of all committed digests (do not mutate)."""
+        return self._committed
+
+    @property
+    def leader_count(self) -> int:
+        return self._leader_count
+
+    def record_at(self, position: int) -> CommitRecord:
+        return self._records[position]
+
+    def last(self) -> Optional[CommitRecord]:
+        return self._records[-1] if self._records else None
+
+    def digest_sequence(self) -> List[Digest]:
+        """The ordered digest list — what cross-replica safety compares."""
+        return [r.block.digest for r in self._records]
+
+    def total_transactions(self) -> int:
+        return sum(r.block.payload.count for r in self._records)
+
+
+def check_prefix_consistency(ledgers: List[Ledger]) -> None:
+    """Assert that every pair of ledgers agrees on their common prefix.
+
+    This is the executable form of Theorems 2 and 6: non-faulty replicas
+    may be at different commit depths, but where both have committed, they
+    must have committed identically.  Raises :class:`ProtocolError` naming
+    the first divergent position.
+    """
+    sequences = [ledger.digest_sequence() for ledger in ledgers]
+    for a in range(len(sequences)):
+        for b in range(a + 1, len(sequences)):
+            common = min(len(sequences[a]), len(sequences[b]))
+            for pos in range(common):
+                if sequences[a][pos] != sequences[b][pos]:
+                    raise ProtocolError(
+                        f"safety violation: ledgers {a} and {b} diverge at "
+                        f"position {pos}: {sequences[a][pos].hex()[:8]} != "
+                        f"{sequences[b][pos].hex()[:8]}"
+                    )

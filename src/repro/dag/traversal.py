@@ -1,0 +1,93 @@
+"""Ancestor traversal over the local DAG.
+
+The paper's commit mechanism is defined in terms of the *ancestor set* of a
+leader block (a block is an ancestor of itself, §II-B).  These helpers are
+deliberately iterative — leader ancestries can span thousands of blocks and
+Python's recursion limit is not a protocol parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Set
+
+from ..crypto.hashing import Digest
+from .block import Block
+from .store import DagStore
+
+
+def ancestors_of(
+    block: Block,
+    store: DagStore,
+    stop: Optional[Callable[[Block], bool]] = None,
+) -> Iterator[Block]:
+    """Yield ``block`` and every delivered ancestor (each exactly once).
+
+    ``stop`` prunes traversal: when it returns True for a block, that block
+    is *not* yielded and its parents are not explored.  This is how the
+    commit path skips already-committed history without walking it.
+
+    Parents that have not been delivered are skipped silently — callers on
+    the commit path guarantee completeness separately (a block is only
+    delivered once its ancestors are, §IV-A).
+    """
+    seen: Set[Digest] = set()
+    stack: List[Block] = [block]
+    while stack:
+        current = stack.pop()
+        if current.digest in seen:
+            continue
+        seen.add(current.digest)
+        if stop is not None and stop(current):
+            continue
+        yield current
+        for parent_digest in current.parents:
+            parent = store.get_optional(parent_digest)
+            if parent is not None and parent.digest not in seen:
+                stack.append(parent)
+
+
+def is_ancestor(candidate: Digest, of: Block, store: DagStore) -> bool:
+    """True iff ``candidate`` is in ``of``'s ancestor set (self counts)."""
+    if candidate == of.digest:
+        return True
+    for block in ancestors_of(of, store):
+        if block.digest == candidate:
+            return True
+    return False
+
+
+def uncommitted_ancestors(
+    leader: Block, store: DagStore, committed: Set[Digest]
+) -> List[Block]:
+    """All not-yet-committed, non-genesis ancestors of ``leader``, sorted by
+    ``(round, author, repropose_index)`` — the §IV-B sorting order.
+
+    Traversal prunes at committed blocks: anything below a committed block
+    was committed earlier (commit always takes the full uncommitted
+    ancestry), so the subtree cannot contain uncommitted blocks.
+    """
+    result = [
+        block
+        for block in ancestors_of(
+            leader, store, stop=lambda b: b.digest in committed
+        )
+        if not block.is_genesis
+    ]
+    result.sort(key=lambda b: (b.round, b.author, b.repropose_index))
+    return result
+
+
+def reference_closure_contains(
+    source: Block, targets: Set[Digest], store: DagStore
+) -> bool:
+    """True iff ``source`` references (directly or transitively) any target.
+
+    Early-exits on the first hit; used by indirect-commit checks where the
+    target set is the small set of pending leader digests.
+    """
+    if not targets:
+        return False
+    for block in ancestors_of(source, store):
+        if block.digest in targets:
+            return True
+    return False

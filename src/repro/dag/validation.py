@@ -1,0 +1,106 @@
+"""Structural block validation.
+
+Checks applied when a block first arrives (before echoing/voting in CBC,
+before delivering in PBC).  They encode the DAG well-formedness rules every
+protocol shares, which for LightDAG2 are exactly Rule 1 of §V-A:
+
+* the round is positive;
+* a round-``r`` block directly references at least ``n - f`` blocks **from
+  round ``r - 1``** — parents from other rounds are invalid;
+* each referenced parent occupies a **distinct slot** (a block may not
+  reference two contradictory blocks of the same equivocator, Fig. 8a);
+* the author signature verifies (when a backend is supplied).
+
+Parent-slot checks need the parent blocks themselves; callers run retrieval
+first so that all parents are present (§IV-A), then validate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SystemConfig
+from ..errors import InvalidBlockError, UnknownBlockError
+from .block import Block
+from .store import DagStore
+
+
+def validate_block_structure(
+    block: Block,
+    store: DagStore,
+    system: SystemConfig,
+    backend=None,
+    min_parents: Optional[int] = None,
+    allow_weak: bool = False,
+    max_weak: int = 8,
+) -> None:
+    """Raise :class:`InvalidBlockError` unless ``block`` is well-formed.
+
+    ``min_parents`` defaults to the availability quorum ``n - f`` and
+    counts only *strong* parents (previous round).  With ``allow_weak``,
+    up to ``max_weak`` additional parents from older rounds are accepted
+    (DAG-Rider weak links); without it, every parent must sit exactly one
+    round back.  Raises :class:`UnknownBlockError` if a parent is missing
+    from the store (callers translate this into a retrieval request, not
+    a rejection).
+    """
+    if block.round < 1:
+        raise InvalidBlockError(f"block round must be >= 1, got {block.round}")
+    if not 0 <= block.author < system.n:
+        raise InvalidBlockError(f"unknown author {block.author}")
+    if block.repropose_index < 0:
+        raise InvalidBlockError("negative repropose index")
+
+    if len(set(block.parents)) != len(block.parents):
+        raise InvalidBlockError("duplicate parent reference")
+
+    seen_slots = set()
+    strong = 0
+    weak = 0
+    for parent_digest in block.parents:
+        parent = store.get_optional(parent_digest)
+        if parent is None:
+            raise UnknownBlockError(
+                f"parent {parent_digest.hex()[:8]} of block "
+                f"{block.digest.hex()[:8]} not delivered"
+            )
+        if parent.round == block.round - 1:
+            strong += 1
+        elif allow_weak and 0 <= parent.round < block.round - 1:
+            weak += 1
+        else:
+            raise InvalidBlockError(
+                f"parent {parent_digest.hex()[:8]} is in round {parent.round}, "
+                f"block is in round {block.round}"
+            )
+        if parent.slot in seen_slots:
+            # Rule 1 / Fig. 8a: two contradictory blocks of one slot.
+            raise InvalidBlockError(
+                f"block {block.digest.hex()[:8]} references two blocks in "
+                f"slot {parent.slot}"
+            )
+        seen_slots.add(parent.slot)
+
+    required = system.quorum if min_parents is None else min_parents
+    if strong < required:
+        raise InvalidBlockError(
+            f"block {block.digest.hex()[:8]} has {strong} previous-round "
+            f"parents, needs >= {required}"
+        )
+    if weak > max_weak:
+        raise InvalidBlockError(
+            f"block {block.digest.hex()[:8]} carries {weak} weak references, "
+            f"cap is {max_weak}"
+        )
+
+    if backend is not None:
+        if not backend.verify(block.author, block.digest, block.signature):
+            raise InvalidBlockError(
+                f"bad signature on block {block.digest.hex()[:8]} "
+                f"claimed by author {block.author}"
+            )
+
+
+def has_all_parents(block: Block, store: DagStore) -> bool:
+    """Cheap completeness probe used before attempting full validation."""
+    return all(p in store for p in block.parents)

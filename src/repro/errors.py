@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.  The
+sub-hierarchy mirrors the major subsystems (crypto, DAG, broadcast, protocol,
+network) and each exception carries enough context in its message to be
+actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is internally inconsistent.
+
+    Examples: ``n < 3f + 1``, a commit threshold larger than the number of
+    replicas, or a negative bandwidth.
+    """
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed verification or was malformed."""
+
+
+class ThresholdError(CryptoError):
+    """Threshold-crypto failure: bad share, not enough shares, bad proof."""
+
+
+class DagError(ReproError):
+    """Base class for DAG-structure violations."""
+
+
+class UnknownBlockError(DagError):
+    """A referenced block is not present in the local store."""
+
+
+class InvalidBlockError(DagError):
+    """A block violates structural validity (Rule 1, bad round, bad parents)."""
+
+
+class EquivocationDetected(DagError):
+    """Two contradictory blocks were observed in the same slot.
+
+    This is *not* fatal under LightDAG2 (PBC permits equivocation and the
+    protocol handles it through Rules 2-4); the exception type is used by
+    strict stores (LightDAG1 / baselines) where the consistency property of
+    CBC/RBC makes a second block in a slot a protocol violation.
+    """
+
+
+class BroadcastError(ReproError):
+    """A broadcast instance received a message violating its state machine."""
+
+
+class ProtocolError(ReproError):
+    """A consensus-protocol invariant was violated at runtime."""
+
+
+class SafetyViolation(ProtocolError):
+    """Two non-faulty replicas committed different blocks at the same index.
+
+    Raised only by the test/verification harness when comparing ledgers; a
+    correct run must never produce it.
+    """
+
+
+class NetworkError(ReproError):
+    """Transport-level failure in the asyncio runtime."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

@@ -1,0 +1,40 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+* :mod:`repro.harness.runner` — build-and-run one configured simulation,
+  returning an :class:`~repro.harness.runner.ExperimentResult`.
+* :mod:`repro.harness.experiments` — the sweeps behind Figs. 12-15.
+* :mod:`repro.harness.steps` — the Table I communication-step measurements.
+* :mod:`repro.harness.report` — plain-text table rendering for benches and
+  EXPERIMENTS.md.
+"""
+
+from .experiments import (
+    batch_size_sweep,
+    headline_comparison,
+    peak_throughput,
+    scalability_sweep,
+    tradeoff_curve,
+    unfavorable_curve,
+)
+from .runner import (
+    PROTOCOL_REGISTRY,
+    ExperimentResult,
+    build_adversary,
+    run_experiment,
+)
+from .steps import measure_commit_steps, table1_rows
+
+__all__ = [
+    "ExperimentResult",
+    "PROTOCOL_REGISTRY",
+    "batch_size_sweep",
+    "build_adversary",
+    "headline_comparison",
+    "measure_commit_steps",
+    "peak_throughput",
+    "run_experiment",
+    "scalability_sweep",
+    "table1_rows",
+    "tradeoff_curve",
+    "unfavorable_curve",
+]

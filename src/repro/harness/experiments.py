@@ -1,0 +1,186 @@
+"""The sweeps behind every evaluation figure (Figs. 12-15).
+
+Each function returns a list of :class:`~repro.harness.runner.ExperimentResult`
+— one per (protocol, x-axis point) — which the benches and EXPERIMENTS.md
+render as the paper's series.  Defaults follow §VI; the ``duration`` and
+axis arguments let CI runs scale down (a full Fig. 13 at n=61 simulates
+millions of events).
+
+Paper settings reference:
+  * Fig. 12 — batch size 100→1000, n ∈ {7, 22}, favorable.
+  * Fig. 13 — n = 7→61, batch 400, favorable.
+  * Fig. 14 — latency-vs-throughput to saturation, n ∈ {7, 22}, favorable.
+  * Fig. 15 — same under each protocol's §VI-A strongest attack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..config import ExperimentConfig, ProtocolConfig, SystemConfig
+from .runner import ExperimentResult, run_experiment
+
+#: The protocols every comparison figure plots.
+DEFAULT_PROTOCOLS = ("tusk", "bullshark", "lightdag1", "lightdag2")
+
+#: Paper axes.
+FIG12_BATCH_SIZES = (100, 200, 400, 600, 800, 1000)
+FIG13_REPLICAS = (7, 13, 22, 31, 43, 52, 61)
+FIG14_BATCH_RAMP = (50, 100, 200, 400, 800, 1200, 1600, 2000)
+
+
+def _base_config(
+    protocol_name: str,
+    n: int,
+    batch_size: int,
+    adversary: str = "none",
+    duration: float = 20.0,
+    warmup: float = 4.0,
+    seed: int = 0,
+    crypto: str = "hmac",
+) -> ExperimentConfig:
+    warmup = min(warmup, duration * 0.25)
+    return ExperimentConfig(
+        system=SystemConfig(n=n, crypto=crypto, seed=seed),
+        protocol=ProtocolConfig(batch_size=batch_size),
+        protocol_name=protocol_name,
+        adversary_name=adversary,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+
+
+def batch_size_sweep(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    replica_counts: Sequence[int] = (7, 22),
+    batch_sizes: Sequence[int] = FIG12_BATCH_SIZES,
+    duration: float = 20.0,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """Fig. 12: throughput (a) and latency (b) as batch size grows."""
+    results = []
+    for n in replica_counts:
+        for protocol in protocols:
+            for batch in batch_sizes:
+                results.append(
+                    run_experiment(
+                        _base_config(protocol, n, batch, duration=duration, seed=seed)
+                    )
+                )
+    return results
+
+
+def scalability_sweep(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    replica_counts: Sequence[int] = FIG13_REPLICAS,
+    batch_size: int = 400,
+    duration: float = 20.0,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """Fig. 13: throughput (a) and latency (b) as the replica set grows.
+
+    The horizon scales with ``n``: at n=61 an RBC wave takes seconds (the
+    Θ(n²) per-node CPU load), and the measurement window must hold several
+    multiples of the commit latency to be meaningful.
+    """
+    results = []
+    for protocol in protocols:
+        for n in replica_counts:
+            scaled = duration * max(1.0, n / 22)
+            results.append(
+                run_experiment(
+                    _base_config(protocol, n, batch_size, duration=scaled, seed=seed)
+                )
+            )
+    return results
+
+
+def tradeoff_curve(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    replica_counts: Sequence[int] = (7, 22),
+    batch_ramp: Sequence[int] = FIG14_BATCH_RAMP,
+    adversary: str = "none",
+    duration: float = 20.0,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """Fig. 14 (favorable) / Fig. 15 (``adversary="worst"``): the
+    latency-vs-throughput frontier, ramping batch size to saturation.
+
+    Horizons scale with the batch size so the window always holds several
+    commit latencies even deep into saturation.
+    """
+    results = []
+    for n in replica_counts:
+        for protocol in protocols:
+            for batch in batch_ramp:
+                scaled = duration * min(3.0, max(1.0, batch / 800))
+                results.append(
+                    run_experiment(
+                        _base_config(
+                            protocol,
+                            n,
+                            batch,
+                            adversary=adversary,
+                            duration=scaled,
+                            seed=seed,
+                        )
+                    )
+                )
+    return results
+
+
+def unfavorable_curve(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    replica_counts: Sequence[int] = (7, 22),
+    batch_ramp: Sequence[int] = FIG14_BATCH_RAMP,
+    duration: float = 20.0,
+    seed: int = 0,
+) -> List[ExperimentResult]:
+    """Fig. 15: the trade-off under each protocol's strongest attack."""
+    return tradeoff_curve(
+        protocols=protocols,
+        replica_counts=replica_counts,
+        batch_ramp=batch_ramp,
+        adversary="worst",
+        duration=duration,
+        seed=seed,
+    )
+
+
+def peak_throughput(results: List[ExperimentResult]) -> Dict[str, ExperimentResult]:
+    """The saturation point per (protocol, n) — the Fig. 14 headline values
+    (e.g. "Tusk and BullShark achieve a peak throughput of 13.0k and 20.5k
+    TPS, while LightDAG1 and LightDAG2 achieve 21.2k and 24.1k")."""
+    best: Dict[str, ExperimentResult] = {}
+    for result in results:
+        key = f"{result.config.protocol_name}@n={result.config.system.n}"
+        if key not in best or result.throughput_tps > best[key].throughput_tps:
+            best[key] = result
+    return best
+
+
+def headline_comparison(
+    n: int = 22,
+    batch_size: int = 1000,
+    duration: float = 20.0,
+    seed: int = 0,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+) -> Dict[str, Dict[str, float]]:
+    """The §VI-B headline claim: at n=22, batch 1000, LightDAG1/LightDAG2
+    deliver 1.69×/1.91× Tusk's throughput and cut its latency 41%/45%."""
+    measured: Dict[str, ExperimentResult] = {}
+    for protocol in protocols:
+        measured[protocol] = run_experiment(
+            _base_config(protocol, n, batch_size, duration=duration, seed=seed)
+        )
+    tusk = measured["tusk"]
+    out: Dict[str, Dict[str, float]] = {}
+    for protocol, result in measured.items():
+        out[protocol] = {
+            "tps": result.throughput_tps,
+            "latency_s": result.mean_latency,
+            "tps_vs_tusk": result.throughput_tps / tusk.throughput_tps,
+            "latency_reduction_vs_tusk": 1 - result.mean_latency / tusk.mean_latency,
+        }
+    return out

@@ -1,0 +1,212 @@
+"""Build and run one configured experiment.
+
+:func:`run_experiment` is the single entry point the benchmarks, examples
+and integration tests share: given an :class:`~repro.config.ExperimentConfig`
+it deals keys, wires mempools and metrics to one node per replica, installs
+the requested adversary, runs the discrete-event simulation, verifies
+cross-replica ledger safety, and returns the measurements.
+
+Adversary names (``ExperimentConfig.adversary_name``):
+
+=================  ============================================================
+``none``           favorable situation (no interference)
+``crash``          crash ``f`` replicas at t=0 (§VI-A attack on Tusk/LightDAG1)
+``leader-delay``   delay predefined Bullshark leaders' blocks (§VI-A)
+``equivocate``     ``f`` staggered equivocating replicas (§VI-A vs LightDAG2)
+``random-sched``   unstructured random delays (property tests)
+``worst``          the §VI-A per-protocol strongest attack, resolved from the
+                   protocol name — what Fig. 15 plots
+=================  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from ..adversary.base import Adversary
+from ..adversary.byzantine import EquivocatingLightDag2Node, stagger_start_waves
+from ..adversary.crash import CrashAdversary
+from ..adversary.delay import BullsharkLeaderDelayAdversary
+from ..adversary.scheduler import RandomSchedulingAdversary
+from ..baselines.bullshark import BullsharkNode
+from ..baselines.dagrider import DagRiderNode
+from ..baselines.tusk import TuskNode
+from ..config import ExperimentConfig
+from ..core.base import BaseDagNode
+from ..core.lightdag1 import LightDag1NoMergeNode, LightDag1Node
+from ..core.lightdag2 import LightDag2Node
+from ..crypto.keys import TrustedDealer
+from ..dag.ledger import check_prefix_consistency
+from ..errors import ConfigError
+from ..net.latency import make_latency_model
+from ..net.simulator import CpuCost, Simulation
+from ..workload.metrics import MetricsCollector
+from ..workload.txgen import Mempool
+
+#: Protocol-name → node class.
+PROTOCOL_REGISTRY: Dict[str, Type[BaseDagNode]] = {
+    "lightdag1": LightDag1Node,
+    "lightdag1-nomerge": LightDag1NoMergeNode,
+    "lightdag2": LightDag2Node,
+    "dagrider": DagRiderNode,
+    "tusk": TuskNode,
+    "bullshark": BullsharkNode,
+}
+
+#: The §VI-A strongest attack per protocol (Fig. 15's x-axis).
+WORST_ATTACK: Dict[str, str] = {
+    "lightdag1": "crash",
+    "lightdag1-nomerge": "crash",
+    "lightdag2": "equivocate",
+    "dagrider": "crash",
+    "tusk": "crash",
+    "bullshark": "leader-delay",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one run measures."""
+
+    config: ExperimentConfig
+    throughput_tps: float
+    mean_latency: float
+    p50_latency: float
+    p95_latency: float
+    committed_txs: int
+    rounds_reached: int
+    events: int
+    messages_sent: int
+    bytes_sent: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for tabular reports."""
+        return {
+            "protocol": self.config.protocol_name,
+            "n": self.config.system.n,
+            "batch": self.config.protocol.batch_size,
+            "adversary": self.config.adversary_name,
+            "tps": round(self.throughput_tps, 1),
+            "latency_s": round(self.mean_latency, 4),
+            "p95_s": round(self.p95_latency, 4),
+            "rounds": self.rounds_reached,
+        }
+
+
+def build_adversary(
+    cfg: ExperimentConfig,
+) -> Tuple[Optional[Adversary], Dict[int, Callable]]:
+    """Resolve the adversary name into a message-level adversary and a map
+    of replica-index → Byzantine node-factory override."""
+    name = cfg.adversary_name
+    system = cfg.system
+    if name == "worst":
+        name = WORST_ATTACK[cfg.protocol_name]
+    if name == "none":
+        return None, {}
+    if name == "crash":
+        return CrashAdversary.crash_f(system.n, system.f), {}
+    if name == "leader-delay":
+        return BullsharkLeaderDelayAdversary(system, delay=1.0, seed=cfg.seed), {}
+    if name == "random-sched":
+        return RandomSchedulingAdversary(max_delay=0.2, seed=cfg.seed), {}
+    if name == "equivocate":
+        if cfg.protocol_name != "lightdag2":
+            raise ConfigError("the equivocation attack targets lightdag2 only")
+        byzantine = list(range(system.n - system.f, system.n))
+        starts = stagger_start_waves(byzantine)
+
+        def override_for(replica: int) -> Callable:
+            start = starts[replica]
+
+            def build(net, *, _start=start, **kwargs):
+                return EquivocatingLightDag2Node(net, start_wave=_start, **kwargs)
+
+            return build
+
+        return None, {b: override_for(b) for b in byzantine}
+    raise ConfigError(f"unknown adversary {name!r}")
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment to completion and collect its measurements."""
+    system = cfg.system
+    node_cls = PROTOCOL_REGISTRY.get(cfg.protocol_name)
+    if node_cls is None:
+        raise ConfigError(
+            f"unknown protocol {cfg.protocol_name!r}; "
+            f"choose from {sorted(PROTOCOL_REGISTRY)}"
+        )
+    dealer = TrustedDealer(
+        system, coin_threshold=cfg.protocol.resolve_coin_threshold(system)
+    )
+    chains = dealer.deal()
+    collector = MetricsCollector(warmup=cfg.warmup, measure_until=cfg.duration)
+    adversary, byz_overrides = build_adversary(cfg)
+
+    mempools = [
+        Mempool.from_config(cfg.protocol, rate=cfg.tx_rate_per_replica)
+        for _ in range(system.n)
+    ]
+
+    def factory_for(i: int):
+        def make(net):
+            kwargs = dict(
+                system=system,
+                protocol=cfg.protocol,
+                keychain=chains[i],
+                payload_source=mempools[i].take,
+                on_commit=collector.callback_for(i),
+            )
+            if i in byz_overrides:
+                return byz_overrides[i](net, **kwargs)
+            return node_cls(net, **kwargs)
+
+        return make
+
+    latency = make_latency_model(cfg.latency_model)
+    cpu = None
+    if cfg.cpu_fixed_us > 0 or cfg.cpu_per_byte_ns > 0:
+        cpu = CpuCost(
+            fixed_s=cfg.cpu_fixed_us * 1e-6,
+            per_byte_s=cfg.cpu_per_byte_ns * 1e-9,
+        )
+    sim = Simulation(
+        [factory_for(i) for i in range(system.n)],
+        latency_model=latency,
+        bandwidth_bps=cfg.bandwidth_bps,
+        adversary=adversary,
+        cpu=cpu,
+        seed=cfg.seed,
+    )
+    sim.run(until=cfg.duration)
+
+    honest = [
+        node
+        for i, node in enumerate(sim.nodes)
+        if i not in byz_overrides and i not in sim.crashed
+    ]
+    check_prefix_consistency([node.ledger for node in honest])
+
+    window = cfg.duration - cfg.warmup
+    extras: Dict[str, float] = {}
+    for node in honest:
+        if hasattr(node, "reproposals"):
+            extras["reproposals"] = extras.get("reproposals", 0) + node.reproposals
+    extras["retrieval_requests"] = sum(n.retrieval.requests_sent for n in honest)
+
+    return ExperimentResult(
+        config=cfg,
+        throughput_tps=collector.throughput(window),
+        mean_latency=collector.mean_latency(),
+        p50_latency=collector.latency_quantile(0.5),
+        p95_latency=collector.latency_quantile(0.95),
+        committed_txs=collector.total_committed_txs(),
+        rounds_reached=max(node.current_round for node in honest),
+        events=sim.stats.events_processed,
+        messages_sent=sim.stats.messages_sent,
+        bytes_sent=sim.stats.bytes_sent,
+        extras=extras,
+    )

@@ -1,0 +1,39 @@
+"""Network substrate: message model, latency models, simulator, asyncio runtime.
+
+The paper's testbed is 4-continent Alibaba Cloud VMs on 100 Mbps
+peer-to-peer links.  This package reproduces that environment two ways:
+
+* :mod:`repro.net.simulator` — a deterministic discrete-event simulator
+  with WAN propagation delays and a shared-egress bandwidth model.  All
+  benchmark figures are produced here (reproducible, seedable, fast).
+* :mod:`repro.net.asyncnet` — an asyncio runtime that runs the very same
+  protocol ``Node`` objects over real in-process (or TCP) channels — the
+  "prototype system" flavour of §VI.
+
+Protocols never import either runtime; they are written against the
+:class:`repro.net.interfaces.NetworkAPI` abstraction.
+"""
+
+from .interfaces import BROADCAST, Message, NetworkAPI, Node
+from .latency import (
+    FixedLatency,
+    LatencyModel,
+    UniformLatency,
+    WanLatency,
+    make_latency_model,
+)
+from .simulator import Simulation, SimulationStats
+
+__all__ = [
+    "BROADCAST",
+    "FixedLatency",
+    "LatencyModel",
+    "Message",
+    "NetworkAPI",
+    "Node",
+    "Simulation",
+    "SimulationStats",
+    "UniformLatency",
+    "WanLatency",
+    "make_latency_model",
+]

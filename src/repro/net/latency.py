@@ -1,0 +1,133 @@
+"""Propagation-latency models.
+
+The simulator separates *propagation* (distance, modeled here) from
+*serialization* (bandwidth, modeled by the egress queue in the simulator).
+Three models cover every experiment:
+
+* :class:`FixedLatency` — identical delay on every link.  Used by the
+  Table I step-count experiments, where one "communication step" must take
+  exactly one time unit.
+* :class:`UniformLatency` — i.i.d. uniform delay per message; handy for
+  property tests that need schedule diversity.
+* :class:`WanLatency` — the paper's deployment: replicas spread round-robin
+  across four continental regions with realistic one-way delays and
+  multiplicative jitter.
+
+All models draw from the ``random.Random`` instance the simulator passes
+in, keeping runs fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigError
+
+#: One-way propagation delays between the four modeled regions, in seconds.
+#: Regions: 0 = North America, 1 = Europe, 2 = Asia, 3 = South America.
+#: Values approximate public inter-continent RTT/2 measurements.
+WAN_REGION_DELAYS = (
+    (0.001, 0.045, 0.075, 0.065),
+    (0.045, 0.001, 0.100, 0.095),
+    (0.075, 0.100, 0.001, 0.135),
+    (0.065, 0.095, 0.135, 0.001),
+)
+
+
+class LatencyModel(ABC):
+    """Maps a (src, dst) pair to a per-message propagation delay."""
+
+    @abstractmethod
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        """One-way propagation delay in seconds for this message."""
+
+    def mean_delay(self, src: int, dst: int) -> float:
+        """Expected delay (used by analytic step-latency conversions)."""
+        probe = random.Random(0)
+        return sum(self.delay(src, dst, probe) for _ in range(64)) / 64
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay_s`` seconds (self-sends 0)."""
+
+    def __init__(self, delay_s: float = 0.05) -> None:
+        if delay_s < 0:
+            raise ConfigError("latency cannot be negative")
+        self.delay_s = delay_s
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        return 0.0 if src == dst else self.delay_s
+
+    def mean_delay(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else self.delay_s
+
+
+class UniformLatency(LatencyModel):
+    """Delay drawn uniformly from ``[low, high]`` per message."""
+
+    def __init__(self, low: float = 0.01, high: float = 0.1) -> None:
+        if not 0 <= low <= high:
+            raise ConfigError(f"invalid uniform latency range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        return 0.0 if src == dst else rng.uniform(self.low, self.high)
+
+    def mean_delay(self, src: int, dst: int) -> float:
+        return 0.0 if src == dst else (self.low + self.high) / 2
+
+
+class WanLatency(LatencyModel):
+    """Four-region WAN matrix with multiplicative jitter.
+
+    Replica ``i`` lives in region ``i % 4`` (round-robin placement, the
+    natural reading of "deployed on four continents").  Per-message delay is
+    the matrix entry scaled by ``1 + jitter`` with jitter drawn uniformly
+    from ``[-jitter_frac, +jitter_frac]``.
+    """
+
+    def __init__(self, jitter_frac: float = 0.1, num_regions: int = 4) -> None:
+        if not 0 <= jitter_frac < 1:
+            raise ConfigError("jitter fraction must be in [0, 1)")
+        if not 1 <= num_regions <= len(WAN_REGION_DELAYS):
+            raise ConfigError(
+                f"num_regions must be in 1..{len(WAN_REGION_DELAYS)}"
+            )
+        self.jitter_frac = jitter_frac
+        self.num_regions = num_regions
+
+    def region_of(self, replica: int) -> int:
+        return replica % self.num_regions
+
+    def base_delay(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        return WAN_REGION_DELAYS[self.region_of(src)][self.region_of(dst)]
+
+    def delay(self, src: int, dst: int, rng: random.Random) -> float:
+        base = self.base_delay(src, dst)
+        if base == 0.0:
+            return 0.0
+        return base * (1.0 + rng.uniform(-self.jitter_frac, self.jitter_frac))
+
+    def mean_delay(self, src: int, dst: int) -> float:
+        return self.base_delay(src, dst)
+
+
+def make_latency_model(name: str, **kwargs) -> LatencyModel:
+    """Factory matching :attr:`ExperimentConfig.latency_model` names.
+
+    Accepted names: ``"fixed"``, ``"uniform"``, ``"wan4"`` (the default
+    four-region matrix), ``"lan"`` (fixed 1 ms).
+    """
+    if name == "fixed":
+        return FixedLatency(**kwargs)
+    if name == "uniform":
+        return UniformLatency(**kwargs)
+    if name == "wan4":
+        return WanLatency(**kwargs)
+    if name == "lan":
+        return FixedLatency(delay_s=kwargs.pop("delay_s", 0.001), **kwargs)
+    raise ConfigError(f"unknown latency model {name!r}")

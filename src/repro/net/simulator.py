@@ -1,0 +1,323 @@
+"""Deterministic discrete-event network simulator.
+
+The simulator executes a set of :class:`~repro.net.interfaces.Node` state
+machines over a modeled network and is the engine behind every benchmark
+figure.  Design points:
+
+* **Determinism** — one seeded ``random.Random`` drives all latency draws;
+  the event queue breaks time ties by a monotone sequence number; node
+  handlers run to completion.  Same seed → bit-identical run.
+* **Bandwidth model** — each replica has a shared egress NIC of
+  ``bandwidth_bps``; messages serialize through it FIFO
+  (``egress_free[src]`` tracks when the NIC drains) and then propagate
+  according to the latency model.  This is what produces the saturation
+  plateaus of Fig. 12/14 and the throughput convergence of Fig. 13a.
+* **Adversary hooks** — an :class:`~repro.adversary.base.Adversary` may
+  delay or drop any message and crash replicas; Byzantine *behaviour*
+  (equivocation and the like) is expressed as alternative Node
+  implementations, matching the paper's threat model where the adversary
+  controls up to ``f`` replicas and the message schedule.
+
+The hot loop is kept allocation-light on purpose (the profiling-first guide:
+the event loop dominates; everything else is protocol logic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..errors import SimulationError
+from .interfaces import Message, NetworkAPI, Node, NodeFactory
+from .latency import FixedLatency, LatencyModel
+
+_DELIVER = 0
+_TIMER = 1
+_PROCESS = 2
+
+
+@dataclass(frozen=True)
+class CpuCost:
+    """Per-node message-processing cost model.
+
+    Real deployments saturate replica CPUs on per-message work (signature
+    verification, deserialization, hashing) long before links fill — this
+    is what makes throughput *decline* as the replica set grows (Fig. 13a):
+    every node processes Θ(n²) echo-class messages per round.  Messages
+    arriving at a node serialize through a single CPU queue with cost
+    ``fixed_s + per_byte_s × size``.
+
+    Defaults approximate a prototype-grade stack: ~250 µs per message
+    (ed25519-class verify, deserialization, handling, GC pressure) and
+    20 ns/byte (~50 MB/s effective decode+hash+copy).
+    """
+
+    fixed_s: float = 250e-6
+    per_byte_s: float = 20e-9
+
+    def cost(self, size: int) -> float:
+        return self.fixed_s + size * self.per_byte_s
+
+
+@dataclass
+class SimulationStats:
+    """Counters accumulated over a run."""
+
+    events_processed: int = 0
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    final_time: float = 0.0
+    per_node_bytes: dict = field(default_factory=dict)
+
+    def record_send(self, src: int, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.per_node_bytes[src] = self.per_node_bytes.get(src, 0) + size
+
+
+class _SimNetworkAPI(NetworkAPI):
+    """Per-node facade over the simulator."""
+
+    __slots__ = ("_sim", "_node_id")
+
+    def __init__(self, sim: "Simulation", node_id: int) -> None:
+        self._sim = sim
+        self._node_id = node_id
+
+    @property
+    def node_id(self) -> int:
+        return self._node_id
+
+    @property
+    def n(self) -> int:
+        return len(self._sim.nodes)
+
+    def now(self) -> float:
+        return self._sim.now
+
+    def send(self, dst: int, msg: Message) -> None:
+        self._sim._enqueue_send(self._node_id, dst, msg)
+
+    def set_timer(self, delay: float, tag: str, data: Any = None) -> None:
+        self._sim._enqueue_timer(self._node_id, delay, tag, data)
+
+
+class Simulation:
+    """Builds and runs a replica set over the modeled network.
+
+    Parameters
+    ----------
+    factories:
+        One node factory per replica; ``factories[i]`` receives the
+        :class:`NetworkAPI` for replica ``i``.  Byzantine replicas are
+        simply factories producing malicious Node subclasses.
+    latency_model:
+        Propagation model (defaults to 50 ms fixed).
+    bandwidth_bps:
+        Shared egress NIC capacity per replica; ``None`` disables the
+        serialization model entirely (pure propagation — used by the
+        step-count experiments).
+    adversary:
+        Optional message-schedule adversary (see :mod:`repro.adversary`).
+    seed:
+        Seed for all latency jitter and adversary randomness.
+    """
+
+    def __init__(
+        self,
+        factories: Sequence[NodeFactory],
+        latency_model: LatencyModel | None = None,
+        bandwidth_bps: float | None = None,
+        adversary: Optional["AdversaryProtocol"] = None,
+        cpu: CpuCost | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.latency = latency_model or FixedLatency()
+        self.bandwidth_bps = bandwidth_bps
+        self.adversary = adversary
+        self.cpu = cpu
+        self.rng = random.Random(f"sim:{seed}")
+        self.now = 0.0
+        self.stats = SimulationStats()
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._egress_free = [0.0] * len(factories)
+        self._cpu_free = [0.0] * len(factories)
+        self._crashed: set[int] = set()
+        self.nodes: list[Node] = []
+        for i, factory in enumerate(factories):
+            self.nodes.append(factory(_SimNetworkAPI(self, i)))
+        if self.adversary is not None:
+            self.adversary.attach(self)
+        self._started = False
+
+    # -- event scheduling ----------------------------------------------------
+
+    def _enqueue_send(self, src: int, dst: int, msg: Message) -> None:
+        if src in self._crashed:
+            return
+        if dst == src:
+            # Local delivery: no propagation, no serialization, but still an
+            # event so handler atomicity is preserved.
+            heapq.heappush(
+                self._queue, (self.now, next(self._seq), _DELIVER, (src, dst, msg))
+            )
+            return
+        size = msg.wire_size()
+        self.stats.record_send(src, size)
+
+        if self.adversary is not None:
+            verdict = self.adversary.on_send(src, dst, msg, self.now)
+            if verdict is None:
+                self.stats.messages_dropped += 1
+                return
+            extra_delay = verdict
+        else:
+            extra_delay = 0.0
+
+        if self.bandwidth_bps is not None:
+            start = max(self.now, self._egress_free[src])
+            finish = start + size * 8.0 / self.bandwidth_bps
+            self._egress_free[src] = finish
+        else:
+            finish = self.now
+        arrival = finish + self.latency.delay(src, dst, self.rng) + extra_delay
+        heapq.heappush(
+            self._queue, (arrival, next(self._seq), _DELIVER, (src, dst, msg))
+        )
+
+    def _enqueue_timer(self, node_id: int, delay: float, tag: str, data: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timer delay {delay}")
+        heapq.heappush(
+            self._queue,
+            (self.now + delay, next(self._seq), _TIMER, (node_id, tag, data)),
+        )
+
+    # -- fault injection -----------------------------------------------------
+
+    def crash(self, node_id: int, at: float | None = None) -> None:
+        """Crash a replica now or at a future time.
+
+        A crashed replica stops sending, receiving, and firing timers; its
+        state is left intact (crash-stop, not crash-recovery).
+        """
+        if at is None or at <= self.now:
+            self._crashed.add(node_id)
+        else:
+            heapq.heappush(
+                self._queue, (at, next(self._seq), _TIMER, (node_id, "__crash__", None))
+            )
+
+    @property
+    def crashed(self) -> frozenset:
+        return frozenset(self._crashed)
+
+    # -- run loop --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's ``on_start`` (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes:
+            if node.node_id not in self._crashed:
+                node.on_start()
+
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int = 50_000_000,
+        stop_when: Callable[["Simulation"], bool] | None = None,
+    ) -> SimulationStats:
+        """Process events until the queue drains, time passes ``until``,
+        the event budget is hit, or ``stop_when(sim)`` returns True.
+
+        ``stop_when`` is evaluated after each event — use it for
+        "run until every replica committed k blocks" style experiments.
+        """
+        self.start()
+        processed = 0
+        while self._queue:
+            when, _, kind, payload = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = when
+            self._dispatch(kind, payload)
+            processed += 1
+            self.stats.events_processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"event budget {max_events} exhausted at t={self.now:.3f}s "
+                    f"({len(self._queue)} events pending) — runaway protocol?"
+                )
+            if stop_when is not None and stop_when(self):
+                break
+        self.stats.final_time = self.now
+        return self.stats
+
+    def _dispatch(self, kind: int, payload: tuple) -> None:
+        if kind == _DELIVER:
+            src, dst, msg = payload
+            if dst in self._crashed:
+                return
+            if self.cpu is not None and src != dst:
+                cost = self.cpu.cost(msg.wire_size())
+                if self._cpu_free[dst] <= self.now:
+                    # CPU idle: hand over now; this message's cost delays
+                    # whatever arrives next.
+                    self._cpu_free[dst] = self.now + cost
+                else:
+                    # CPU busy: requeue behind the backlog.
+                    ready = self._cpu_free[dst] + cost
+                    self._cpu_free[dst] = ready
+                    heapq.heappush(
+                        self._queue,
+                        (ready, next(self._seq), _PROCESS, (src, dst, msg)),
+                    )
+                    return
+            self.stats.messages_delivered += 1
+            self.nodes[dst].on_message(src, msg)
+        elif kind == _PROCESS:
+            src, dst, msg = payload
+            if dst in self._crashed:
+                return
+            self.stats.messages_delivered += 1
+            self.nodes[dst].on_message(src, msg)
+        else:
+            node_id, tag, data = payload
+            if tag == "__crash__":
+                self._crashed.add(node_id)
+                return
+            if node_id in self._crashed:
+                return
+            self.nodes[node_id].on_timer(tag, data)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+
+class AdversaryProtocol:
+    """Structural interface the simulator expects from adversaries.
+
+    Kept here (rather than in :mod:`repro.adversary`) to avoid an import
+    cycle; real adversaries subclass :class:`repro.adversary.base.Adversary`
+    which conforms to this.
+    """
+
+    def attach(self, sim: Simulation) -> None:  # pragma: no cover - interface
+        """Called once after nodes are constructed."""
+
+    def on_send(
+        self, src: int, dst: int, msg: Message, now: float
+    ) -> float | None:  # pragma: no cover - interface
+        """Return extra delay in seconds, or ``None`` to drop the message."""
+        return 0.0

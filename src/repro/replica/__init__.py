@@ -1,0 +1,12 @@
+"""Replica runtime: assembling deployable nodes for the asyncio prototype.
+
+The harness (:mod:`repro.harness`) wires protocol nodes into the
+discrete-event simulator for measurement; this package does the same
+wiring for the :mod:`repro.net.asyncnet` runtime — the mode a downstream
+user embeds in an application (see ``examples/wan_prototype.py`` and
+``examples/kv_store.py``).
+"""
+
+from .runtime import AsyncExperiment, run_async_experiment
+
+__all__ = ["AsyncExperiment", "run_async_experiment"]

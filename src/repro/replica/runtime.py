@@ -1,0 +1,105 @@
+"""Async (prototype-mode) experiment assembly.
+
+Mirrors :func:`repro.harness.runner.run_experiment` but over the asyncio
+runtime: real wall-clock time, real concurrency, same protocol code.  The
+numbers it produces are *prototype* numbers (they include Python handler
+cost), which is why the benchmarks use the simulator instead; the examples
+and integration tests use this to demonstrate the library end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import ExperimentConfig
+from ..crypto.keys import TrustedDealer
+from ..dag.ledger import Ledger, check_prefix_consistency
+from ..errors import ConfigError
+from ..harness.runner import PROTOCOL_REGISTRY
+from ..net.asyncnet import AsyncCluster
+from ..net.latency import make_latency_model
+from ..workload.metrics import MetricsCollector
+from ..workload.txgen import Mempool
+
+
+@dataclass
+class AsyncExperiment:
+    """A built-but-not-yet-run async cluster plus its measurement hooks."""
+
+    cluster: AsyncCluster
+    collector: MetricsCollector
+    config: ExperimentConfig
+
+    async def run(self) -> None:
+        await self.cluster.run(self.config.duration)
+
+    def ledgers(self) -> List[Ledger]:
+        return [node.ledger for node in self.cluster.nodes]
+
+    def verify_safety(self) -> None:
+        check_prefix_consistency(self.ledgers())
+
+    def summary(self) -> Dict[str, float]:
+        window = self.config.duration - self.config.warmup
+        return {
+            "throughput_tps": self.collector.throughput(window),
+            "mean_latency_s": self.collector.mean_latency(),
+            "committed_txs": float(self.collector.total_committed_txs()),
+            "messages": float(self.cluster.messages_delivered),
+        }
+
+
+def build_async_experiment(cfg: ExperimentConfig) -> AsyncExperiment:
+    """Assemble an asyncio cluster for a config (favorable situations only —
+    the simulator owns adversarial runs, where reproducibility matters)."""
+    if cfg.adversary_name != "none":
+        raise ConfigError(
+            "the asyncio runtime runs favorable situations only; use the "
+            "simulator harness for adversarial experiments"
+        )
+    system = cfg.system
+    node_cls = PROTOCOL_REGISTRY.get(cfg.protocol_name)
+    if node_cls is None:
+        raise ConfigError(f"unknown protocol {cfg.protocol_name!r}")
+    chains = TrustedDealer(
+        system, coin_threshold=cfg.protocol.resolve_coin_threshold(system)
+    ).deal()
+    collector = MetricsCollector(warmup=cfg.warmup, measure_until=cfg.duration)
+    mempools = [
+        Mempool.from_config(cfg.protocol, rate=cfg.tx_rate_per_replica)
+        for _ in range(system.n)
+    ]
+
+    def factory_for(i: int):
+        def make(net):
+            return node_cls(
+                net,
+                system=system,
+                protocol=cfg.protocol,
+                keychain=chains[i],
+                payload_source=mempools[i].take,
+                on_commit=collector.callback_for(i),
+            )
+
+        return make
+
+    latency: Optional[object] = None
+    if cfg.latency_model != "none":
+        latency = make_latency_model(cfg.latency_model)
+    cluster = AsyncCluster(
+        [factory_for(i) for i in range(system.n)],
+        latency_model=latency,
+        seed=cfg.seed,
+    )
+    return AsyncExperiment(cluster=cluster, collector=collector, config=cfg)
+
+
+def run_async_experiment(cfg: ExperimentConfig) -> Dict[str, float]:
+    """Blocking convenience wrapper: build, run, verify safety, summarize."""
+    import asyncio
+
+    experiment = build_async_experiment(cfg)
+    asyncio.run(experiment.run())
+    experiment.verify_safety()
+    return experiment.summary()

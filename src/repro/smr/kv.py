@@ -1,0 +1,70 @@
+"""The reference state machine: a string key-value store.
+
+Command grammar (UTF-8, space-separated, values may contain spaces):
+
+* ``SET <key> <value>``   → ``OK``
+* ``GET <key>``           → the value, or ``NIL``
+* ``DEL <key>``           → ``OK`` if present, ``NIL`` otherwise
+* ``CAS <key> <expected> <new>`` → ``OK`` on swap, ``FAIL`` otherwise
+
+Unknown verbs and malformed commands return ``ERR <reason>`` rather than
+raising: a malformed committed command must not halt replication (it was
+ordered; the application answer is simply "that was garbage"), and the
+answer must be identical at every replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .machine import Command, StateMachine
+
+
+class KvStateMachine(StateMachine):
+    """Deterministic dictionary with compare-and-swap."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, str] = {}
+        self.applied_count = 0
+
+    def apply(self, command: Command) -> bytes:
+        self.applied_count += 1
+        try:
+            text = command.payload.decode("utf-8")
+        except UnicodeDecodeError:
+            return b"ERR not-utf8"
+        parts = text.split(" ")
+        verb = parts[0] if parts else ""
+
+        if verb == "SET":
+            if len(parts) < 3:
+                return b"ERR SET needs key and value"
+            key, value = parts[1], " ".join(parts[2:])
+            self.data[key] = value
+            return b"OK"
+
+        if verb == "GET":
+            if len(parts) != 2:
+                return b"ERR GET needs exactly one key"
+            value = self.data.get(parts[1])
+            return b"NIL" if value is None else value.encode("utf-8")
+
+        if verb == "DEL":
+            if len(parts) != 2:
+                return b"ERR DEL needs exactly one key"
+            return b"OK" if self.data.pop(parts[1], None) is not None else b"NIL"
+
+        if verb == "CAS":
+            if len(parts) < 4:
+                return b"ERR CAS needs key, expected, new"
+            key, expected, new = parts[1], parts[2], " ".join(parts[3:])
+            if self.data.get(key) == expected:
+                self.data[key] = new
+                return b"OK"
+            return b"FAIL"
+
+        return f"ERR unknown verb {verb!r}".encode("utf-8")
+
+    def snapshot(self) -> bytes:
+        items = sorted(self.data.items())
+        return "\n".join(f"{k}\x00{v}" for k, v in items).encode("utf-8")

@@ -1,0 +1,13 @@
+"""Workload generation and measurement.
+
+* :mod:`repro.workload.txgen` — open-loop transaction arrival modeling and
+  the per-replica mempool that turns arrivals into block payloads.
+* :mod:`repro.workload.metrics` — commit-side measurement: throughput
+  (committed transactions per second) and latency ("the time taken by a
+  transaction to be committed from the moment it is proposed", §VI-A).
+"""
+
+from .metrics import LatencyStats, MetricsCollector
+from .txgen import Mempool
+
+__all__ = ["LatencyStats", "Mempool", "MetricsCollector"]

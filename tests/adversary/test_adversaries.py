@@ -1,0 +1,138 @@
+"""Tests for the adversary package: crash, targeted delay, scheduling."""
+
+import pytest
+
+from repro.adversary.byzantine import stagger_start_waves
+from repro.adversary.crash import CrashAdversary
+from repro.adversary.delay import BullsharkLeaderDelayAdversary, TargetedDelayAdversary
+from repro.adversary.scheduler import RandomSchedulingAdversary
+from repro.baselines.bullshark import BullsharkNode
+from repro.broadcast.messages import BlockEcho, BlockVal
+from repro.config import ProtocolConfig, SystemConfig
+from repro.core.lightdag1 import LightDag1Node
+from repro.crypto.keys import TrustedDealer
+from repro.dag.block import genesis_block, make_block
+from repro.dag.ledger import check_prefix_consistency
+from repro.net.latency import FixedLatency
+from repro.net.simulator import Simulation
+
+
+def build_sim(node_cls, n=4, seed=1, adversary=None):
+    system = SystemConfig(n=n, crypto="hmac", seed=seed)
+    protocol = ProtocolConfig(batch_size=10)
+    chains = TrustedDealer(
+        system, coin_threshold=protocol.resolve_coin_threshold(system)
+    ).deal()
+    return Simulation(
+        [
+            (lambda net, i=i: node_cls(net, system, protocol, chains[i]))
+            for i in range(n)
+        ],
+        latency_model=FixedLatency(0.05),
+        adversary=adversary,
+        seed=seed,
+    ), system
+
+
+class TestCrashAdversary:
+    def test_crash_f_helper(self):
+        adversary = CrashAdversary.crash_f(n=7, f=2)
+        assert adversary.victims == (5, 6)
+
+    def test_attach_crashes_victims(self):
+        sim, _ = build_sim(LightDag1Node, adversary=CrashAdversary(victims=[3]))
+        assert 3 in sim.crashed
+
+    def test_delayed_crash_scheduled(self):
+        sim, _ = build_sim(
+            LightDag1Node, adversary=CrashAdversary(victims=[3], at=1.0)
+        )
+        assert 3 not in sim.crashed
+        sim.run(until=2.0)
+        assert 3 in sim.crashed
+
+    def test_system_survives_crash_f(self):
+        sim, _ = build_sim(LightDag1Node, adversary=CrashAdversary(victims=[3]))
+        sim.run(until=4.0)
+        alive = sim.nodes[:3]
+        check_prefix_consistency([n.ledger for n in alive])
+        assert all(len(n.ledger) > 5 for n in alive)
+
+    def test_throughput_lower_than_favorable(self):
+        clean, _ = build_sim(LightDag1Node, seed=2)
+        clean.run(until=4.0)
+        attacked, _ = build_sim(
+            LightDag1Node, seed=2, adversary=CrashAdversary(victims=[3])
+        )
+        attacked.run(until=4.0)
+        assert len(attacked.nodes[0].ledger) < len(clean.nodes[0].ledger)
+
+
+class TestTargetedDelay:
+    def test_predicate_gates_delay(self):
+        adv = TargetedDelayAdversary(
+            predicate=lambda s, d, m: isinstance(m, BlockVal), delay=2.0
+        )
+        block = make_block(1, 0, [genesis_block(a).digest for a in range(4)])
+        assert adv.on_send(0, 1, BlockVal(block), 0.0) == 2.0
+        assert adv.on_send(0, 1, BlockEcho(1, 0, block.digest), 0.0) == 0.0
+        assert adv.delayed_count == 1
+
+    def test_bullshark_leader_delay_targets_leader_vals_only(self):
+        system = SystemConfig(n=4, seed=1)
+        adv = BullsharkLeaderDelayAdversary(system, delay=1.0)
+        # Find the wave-1 leader the adversary must target.
+        import repro.crypto.hashing as h
+
+        leader = h.hash_to_int("bullshark-leader", system.seed, 1) % 4
+        parents = [genesis_block(a).digest for a in range(4)]
+        leader_block = make_block(1, leader, parents)
+        other_block = make_block(1, (leader + 1) % 4, parents)
+        even_round_block = make_block(2, leader, parents)
+        assert adv.on_send(leader, 2, BlockVal(leader_block), 0.0) == 1.0
+        assert adv.on_send(0, 2, BlockVal(other_block), 0.0) == 0.0
+        assert adv.on_send(leader, 2, BlockVal(even_round_block), 0.0) == 0.0
+
+    def test_bullshark_suffers_under_leader_delay(self):
+        clean, system = build_sim(BullsharkNode, seed=2)
+        clean.run(until=6.0)
+        attacked, _ = build_sim(
+            BullsharkNode,
+            seed=2,
+            adversary=BullsharkLeaderDelayAdversary(system, delay=1.0),
+        )
+        attacked.run(until=6.0)
+        check_prefix_consistency([n.ledger for n in attacked.nodes])
+        assert len(attacked.nodes[0].ledger) < len(clean.nodes[0].ledger)
+
+
+class TestRandomScheduling:
+    def test_delays_within_bounds(self):
+        adv = RandomSchedulingAdversary(max_delay=0.3, seed=1)
+        block = make_block(1, 0, [genesis_block(a).digest for a in range(4)])
+        for _ in range(100):
+            d = adv.on_send(0, 1, BlockVal(block), 0.0)
+            assert 0.0 <= d <= 0.3
+
+    def test_tail_delays(self):
+        adv = RandomSchedulingAdversary(
+            max_delay=0.1, tail_probability=1.0, tail_delay=5.0, seed=1
+        )
+        block = make_block(1, 0, [genesis_block(a).digest for a in range(4)])
+        assert adv.on_send(0, 1, BlockVal(block), 0.0) >= 5.0
+
+    def test_protocol_survives_random_scheduling(self):
+        sim, _ = build_sim(
+            LightDag1Node,
+            seed=3,
+            adversary=RandomSchedulingAdversary(max_delay=0.25, seed=3),
+        )
+        sim.run(until=8.0)
+        check_prefix_consistency([n.ledger for n in sim.nodes])
+        assert all(len(n.ledger) > 0 for n in sim.nodes)
+
+
+class TestStagger:
+    def test_stagger_start_waves(self):
+        assert stagger_start_waves([5, 6], waves_apart=2) == {5: 1, 6: 3}
+        assert stagger_start_waves([], 2) == {}

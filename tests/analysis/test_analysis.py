@@ -1,0 +1,164 @@
+"""Tests for repro.analysis: repetition stats, export, DAG visualization."""
+
+import json
+
+import pytest
+
+from repro.analysis.dagviz import dag_to_ascii, dag_to_dot
+from repro.analysis.export import load_results_json, results_to_csv, results_to_json
+from repro.analysis.stats import Aggregate, repeat_experiment
+from repro.config import ExperimentConfig, ProtocolConfig, SystemConfig
+from repro.dag.store import DagStore
+
+
+def small_config(**kw):
+    kw.setdefault("duration", 4.0)
+    kw.setdefault("warmup", 1.0)
+    return ExperimentConfig(
+        system=SystemConfig(n=4, crypto="hmac", seed=1),
+        protocol=ProtocolConfig(batch_size=20),
+        protocol_name="lightdag2",
+        **kw,
+    )
+
+
+class TestAggregate:
+    def test_single_sample(self):
+        agg = Aggregate.of([5.0])
+        assert agg.mean == 5.0 and agg.stdev == 0.0 and agg.ci95_half_width == 0.0
+
+    def test_known_values(self):
+        agg = Aggregate.of([1.0, 2.0, 3.0])
+        assert agg.mean == pytest.approx(2.0)
+        assert agg.stdev == pytest.approx(1.0)
+        assert agg.ci95_half_width == pytest.approx(1.96 / 3**0.5)
+
+
+class TestRepeatExperiment:
+    def test_aggregates_over_seeds(self):
+        repeated = repeat_experiment(small_config(), repeats=3)
+        assert repeated.repeats == 3
+        assert len(repeated.runs) == 3
+        assert repeated.throughput.mean > 0
+        # Distinct seeds must actually produce distinct runs.
+        assert len(set(repeated.throughput.samples)) > 1
+
+    def test_reproducible(self):
+        a = repeat_experiment(small_config(), repeats=2)
+        b = repeat_experiment(small_config(), repeats=2)
+        assert a.throughput.samples == b.throughput.samples
+
+    def test_row_shape(self):
+        row = repeat_experiment(small_config(), repeats=2).row()
+        assert row["repeats"] == 2
+        assert "tps_ci95" in row and "latency_ci95_s" in row
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            repeat_experiment(small_config(), repeats=0)
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.harness.runner import run_experiment
+
+        return [run_experiment(small_config(seed=s)) for s in (1, 2)]
+
+    def test_json_roundtrip(self, results, tmp_path):
+        path = tmp_path / "out.json"
+        results_to_json(results, path)
+        loaded = load_results_json(path)
+        assert len(loaded) == 2
+        assert loaded[0]["protocol"] == "lightdag2"
+
+    def test_json_string_valid(self, results):
+        parsed = json.loads(results_to_json(results))
+        assert all("tps" in row for row in parsed)
+
+    def test_csv_header_and_rows(self, results, tmp_path):
+        path = tmp_path / "out.csv"
+        text = results_to_csv(results, path)
+        lines = text.strip().splitlines()
+        assert len(lines) == 3
+        assert "protocol" in lines[0]
+        assert path.read_text() == text
+
+    def test_empty_csv(self):
+        assert results_to_csv([]) == ""
+
+
+class TestDagViz:
+    @pytest.fixture
+    def populated(self):
+        from tests.dag.helpers import grow_chain
+
+        store = DagStore(n=4)
+        grow_chain(store, rounds=3, n=4)
+        return store
+
+    def test_ascii_grid_shape(self, populated):
+        art = dag_to_ascii(populated)
+        lines = art.splitlines()
+        assert len(lines) == 6  # header + 4 replicas + legend
+        assert lines[1].count("o") == 3  # 3 delivered rounds for replica 0
+
+    def test_ascii_marks_committed(self, populated):
+        from repro.dag.ledger import Ledger
+
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        block = populated.block_in_slot(1, 0)
+        ledger.append(block, 1.0, block.digest, k)
+        art = dag_to_ascii(populated, ledger=ledger)
+        assert "#" in art
+
+    def test_ascii_marks_equivocation(self):
+        from repro.dag.block import genesis_block, make_block
+
+        store = DagStore(n=4, strict=False)
+        parents = [genesis_block(a).digest for a in range(4)]
+        store.add(make_block(1, 0, parents))
+        store.add(make_block(1, 0, parents, repropose_index=1))
+        assert "X" in dag_to_ascii(store)
+
+    def test_dot_is_wellformed(self, populated):
+        dot = dag_to_dot(populated)
+        assert dot.startswith("digraph dag {") and dot.endswith("}")
+        assert "r1_0" in dot and "->" in dot
+
+    def test_dot_caps_blocks(self, populated):
+        dot = dag_to_dot(populated, max_blocks=2)
+        assert dot.count("[") <= 4  # 1 node-attr line each + header
+
+
+class TestDagVizFromRealRun:
+    def test_visualize_simulation_output(self):
+        from repro.core.lightdag1 import LightDag1Node
+        from repro.crypto.keys import TrustedDealer
+        from repro.net.latency import FixedLatency
+        from repro.net.simulator import Simulation
+
+        system = SystemConfig(n=4, crypto="hmac", seed=1)
+        protocol = ProtocolConfig(batch_size=5)
+        chains = TrustedDealer(system).deal()
+        sim = Simulation(
+            [
+                (lambda net, i=i: LightDag1Node(net, system, protocol, chains[i]))
+                for i in range(4)
+            ],
+            latency_model=FixedLatency(0.05),
+            seed=1,
+        )
+        sim.run(until=2.0)
+        node = sim.nodes[0]
+        leaders = {
+            node.leader_block_of(w).digest
+            for w in node.committed_leader_waves
+            if node.leader_block_of(w) is not None
+        }
+        art = dag_to_ascii(node.store, ledger=node.ledger, leaders=leaders,
+                           last_round=10)
+        assert "L" in art and "#" in art
+        dot = dag_to_dot(node.store, ledger=node.ledger, last_round=6)
+        assert "fillcolor" in dot

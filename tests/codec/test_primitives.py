@@ -1,0 +1,134 @@
+"""Tests for repro.codec.primitives: writer/reader round-trips and strictness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codec.primitives import CodecError, Reader, Writer
+
+
+class TestRoundTrips:
+    def test_byte(self):
+        data = Writer().byte(0).byte(255).getvalue()
+        r = Reader(data)
+        assert (r.byte(), r.byte()) == (0, 255)
+        r.expect_eof()
+
+    def test_uvarint_boundaries(self):
+        values = [0, 1, 127, 128, 16383, 16384, 2**32, 2**64 - 1]
+        w = Writer()
+        for v in values:
+            w.uvarint(v)
+        r = Reader(w.getvalue())
+        assert [r.uvarint() for _ in values] == values
+
+    def test_svarint_signs(self):
+        values = [0, 1, -1, 63, -64, 2**40, -(2**40)]
+        w = Writer()
+        for v in values:
+            w.svarint(v)
+        r = Reader(w.getvalue())
+        assert [r.svarint() for _ in values] == values
+
+    def test_lp_bytes(self):
+        data = Writer().lp_bytes(b"").lp_bytes(b"hello").getvalue()
+        r = Reader(data)
+        assert r.lp_bytes() == b""
+        assert r.lp_bytes() == b"hello"
+
+    def test_lp_str_unicode(self):
+        data = Writer().lp_str("héllo ✓").getvalue()
+        assert Reader(data).lp_str() == "héllo ✓"
+
+    def test_bigint(self):
+        values = [0, 1, 255, 256, 2**255 - 19, 2**512]
+        w = Writer()
+        for v in values:
+            w.bigint(v)
+        r = Reader(w.getvalue())
+        assert [r.bigint() for _ in values] == values
+
+    def test_double(self):
+        values = [0.0, -1.5, 3.141592653589793, 1e308, 5e-324]
+        w = Writer()
+        for v in values:
+            w.double(v)
+        r = Reader(w.getvalue())
+        assert [r.double() for _ in values] == values
+
+    def test_boolean(self):
+        data = Writer().boolean(True).boolean(False).getvalue()
+        r = Reader(data)
+        assert (r.boolean(), r.boolean()) == (True, False)
+
+    def test_optional_bytes(self):
+        data = Writer().optional_bytes(None).optional_bytes(b"x").getvalue()
+        r = Reader(data)
+        assert r.optional_bytes() is None
+        assert r.optional_bytes() == b"x"
+
+
+class TestStrictness:
+    def test_truncated_raises(self):
+        data = Writer().lp_bytes(b"hello").getvalue()
+        with pytest.raises(CodecError, match="truncated"):
+            Reader(data[:-2]).lp_bytes()
+
+    def test_trailing_garbage_detected(self):
+        r = Reader(b"\x00\xff")
+        r.byte()
+        with pytest.raises(CodecError, match="trailing"):
+            r.expect_eof()
+
+    def test_overlong_varint_rejected(self):
+        with pytest.raises(CodecError, match="varint"):
+            Reader(b"\xff" * 11).uvarint()
+
+    def test_huge_length_prefix_rejected(self):
+        data = Writer().uvarint(2**40).getvalue()
+        with pytest.raises(CodecError, match="length"):
+            Reader(data).lp_bytes()
+
+    def test_invalid_boolean(self):
+        with pytest.raises(CodecError):
+            Reader(b"\x02").boolean()
+
+    def test_invalid_optional_tag(self):
+        with pytest.raises(CodecError):
+            Reader(b"\x07").optional_bytes()
+
+    def test_negative_writer_inputs(self):
+        with pytest.raises(CodecError):
+            Writer().uvarint(-1)
+        with pytest.raises(CodecError):
+            Writer().uvarint(2**64)
+        with pytest.raises(CodecError):
+            Writer().bigint(-1)
+        with pytest.raises(CodecError):
+            Writer().byte(300)
+
+
+@given(st.integers(min_value=0, max_value=2**64 - 1))
+def test_property_uvarint_roundtrip(value):
+    assert Reader(Writer().uvarint(value).getvalue()).uvarint() == value
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_property_svarint_roundtrip(value):
+    assert Reader(Writer().svarint(value).getvalue()).svarint() == value
+
+
+@given(st.binary(max_size=512))
+def test_property_lp_bytes_roundtrip(value):
+    assert Reader(Writer().lp_bytes(value).getvalue()).lp_bytes() == value
+
+
+@given(st.lists(st.binary(max_size=64), max_size=8))
+def test_property_sequences_self_delimiting(chunks):
+    """Concatenated encodings decode back to the same chunk list —
+    no framing ambiguity."""
+    w = Writer()
+    for chunk in chunks:
+        w.lp_bytes(chunk)
+    r = Reader(w.getvalue())
+    assert [r.lp_bytes() for _ in chunks] == chunks
+    r.expect_eof()

@@ -1,0 +1,167 @@
+"""Tests for repro.core.retrieval: the §IV-A block retrieval mechanism."""
+
+import pytest
+
+from repro.broadcast.messages import RetrievalRequest, RetrievalResponse
+from repro.core.retrieval import RETRY_TAG, RetrievalManager
+from repro.dag.block import genesis_block, make_block
+from repro.dag.store import DagStore
+
+from ..conftest import FakeNet
+
+
+def chain_blocks():
+    """g -> a(r1) -> b(r2): b's parent is a, a's parents are genesis."""
+    a = make_block(1, 0, [genesis_block(x).digest for x in range(4)])
+    b = make_block(2, 0, [a.digest])
+    return a, b
+
+
+@pytest.fixture
+def setup():
+    net = FakeNet(node_id=0, n=4)
+    store = DagStore(n=4)
+    manager = RetrievalManager(net, store, retry_delay=0.5)
+    return net, store, manager
+
+
+class TestRequesting:
+    def test_note_pending_sends_request_to_source(self, setup):
+        net, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        (dst, msg), = net.sent
+        assert dst == 2
+        assert isinstance(msg, RetrievalRequest)
+        assert msg.digests == (a.digest,)
+        assert manager.is_pending(b.digest)
+
+    def test_retry_timer_armed(self, setup):
+        net, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        assert (0.5, RETRY_TAG, a.digest) in net.timers
+
+    def test_duplicate_pending_ignored(self, setup):
+        net, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        manager.note_pending(b, src=3, missing=[a.digest])
+        assert len([m for _, m in net.sent if isinstance(m, RetrievalRequest)]) == 1
+
+    def test_inflight_not_rerequested(self, setup):
+        net, _, manager = setup
+        a, b = chain_blocks()
+        c = make_block(2, 1, [a.digest])
+        manager.note_pending(b, src=2, missing=[a.digest])
+        manager.note_pending(c, src=3, missing=[a.digest])
+        requests = [m for _, m in net.sent if isinstance(m, RetrievalRequest)]
+        assert len(requests) == 1
+
+    def test_disabled_manager_sends_nothing(self):
+        net = FakeNet()
+        manager = RetrievalManager(net, DagStore(n=4), enabled=False)
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        assert net.sent == []
+
+
+class TestResponding:
+    def test_serves_known_blocks(self, setup):
+        net, store, manager = setup
+        a, _ = chain_blocks()
+        store.add(a)
+        manager.on_request(3, RetrievalRequest((a.digest,)))
+        (dst, msg), = net.sent
+        assert dst == 3
+        assert isinstance(msg, RetrievalResponse)
+        assert msg.blocks == (a,)
+        assert manager.blocks_served == 1
+
+    def test_silent_on_unknown(self, setup):
+        net, _, manager = setup
+        manager.on_request(3, RetrievalRequest((b"\x01" * 32,)))
+        assert net.sent == []
+
+    def test_partial_response(self, setup):
+        net, store, manager = setup
+        a, _ = chain_blocks()
+        store.add(a)
+        manager.on_request(1, RetrievalRequest((a.digest, b"\x09" * 32)))
+        (_, msg), = net.sent
+        assert msg.blocks == (a,)
+
+
+class TestCompletion:
+    def test_satisfied_by_releases_dependent(self, setup):
+        _, store, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        store.add(a)
+        ready = manager.satisfied_by(a.digest)
+        assert ready == [(b, 2, False)]
+        assert not manager.is_pending(b.digest)
+
+    def test_partial_satisfaction_keeps_pending(self, setup):
+        _, store, manager = setup
+        a1 = make_block(1, 0, [genesis_block(x).digest for x in range(4)])
+        a2 = make_block(1, 1, [genesis_block(x).digest for x in range(4)])
+        b = make_block(2, 0, [a1.digest, a2.digest])
+        manager.note_pending(b, src=2, missing=[a1.digest, a2.digest], retrieved=True)
+        assert manager.satisfied_by(a1.digest) == []
+        assert manager.is_pending(b.digest)
+        assert manager.satisfied_by(a2.digest) == [(b, 2, True)]
+
+    def test_on_response_returns_requested_bodies(self, setup):
+        _, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])  # requests a
+        out = manager.on_response(2, RetrievalResponse((a,)))
+        assert out == [(a, 2)]
+
+    def test_on_response_drops_unsolicited(self, setup):
+        """An unsolicited block is not digest-pinned: ignore it."""
+        _, _, manager = setup
+        a, _ = chain_blocks()
+        assert manager.on_response(2, RetrievalResponse((a,))) == []
+
+    def test_drop_pending_cleans_indexes(self, setup):
+        _, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        manager.drop_pending(b.digest)
+        assert not manager.is_pending(b.digest)
+        assert manager.satisfied_by(a.digest) == []
+
+
+class TestRetry:
+    def test_retry_targets_different_replica(self, setup):
+        net, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        net.clear()
+        manager.on_retry_timer(a.digest, candidates={3})
+        (dst, msg), = net.sent
+        assert dst == 3
+        assert isinstance(msg, RetrievalRequest)
+
+    def test_retry_avoids_previous_and_self(self, setup):
+        net, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        net.clear()
+        for _ in range(10):
+            manager.on_retry_timer(a.digest, candidates=set())
+            if net.sent:
+                dst, _ = net.sent[-1]
+                assert dst not in (0,)  # never ask ourselves
+
+    def test_retry_noop_once_satisfied(self, setup):
+        net, store, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        store.add(a)
+        manager.satisfied_by(a.digest)
+        net.clear()
+        manager.on_retry_timer(a.digest, candidates={3})
+        assert net.sent == []

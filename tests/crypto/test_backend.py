@@ -1,0 +1,108 @@
+"""Tests for repro.crypto.backend: the three signing backends."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.crypto.backend import HmacBackend, NullBackend, SchnorrBackend, make_backend
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import TrustedDealer
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SystemConfig(n=4, crypto="schnorr", seed=0)
+
+
+@pytest.fixture(scope="module")
+def chains(system):
+    return TrustedDealer(system).deal()
+
+
+MSG = hash_fields("payload")
+
+
+class TestSchnorrBackend:
+    def test_roundtrip_across_replicas(self, system, chains):
+        signer = SchnorrBackend(chains[0])
+        verifier = SchnorrBackend(chains[3])
+        sig = signer.sign(MSG)
+        assert verifier.verify(0, MSG, sig)
+
+    def test_wrong_signer_id_rejected(self, chains):
+        signer = SchnorrBackend(chains[0])
+        sig = signer.sign(MSG)
+        assert not SchnorrBackend(chains[1]).verify(1, MSG, sig)
+
+    def test_wrong_message_rejected(self, chains):
+        signer = SchnorrBackend(chains[0])
+        sig = signer.sign(MSG)
+        assert not signer.verify(0, hash_fields("other"), sig)
+
+    def test_wrong_type_rejected(self, chains):
+        assert not SchnorrBackend(chains[0]).verify(0, MSG, b"junk")
+
+    def test_unknown_signer_rejected(self, chains):
+        signer = SchnorrBackend(chains[0])
+        sig = signer.sign(MSG)
+        assert not signer.verify(99, MSG, sig)
+
+
+class TestHmacBackend:
+    def test_roundtrip_across_replicas(self, system):
+        signer = HmacBackend(0, system)
+        verifier = HmacBackend(2, system)
+        sig = signer.sign(MSG)
+        assert verifier.verify(0, MSG, sig)
+
+    def test_wrong_signer_id_rejected(self, system):
+        sig = HmacBackend(0, system).sign(MSG)
+        assert not HmacBackend(1, system).verify(1, MSG, sig)
+
+    def test_wrong_message_rejected(self, system):
+        sig = HmacBackend(0, system).sign(MSG)
+        assert not HmacBackend(0, system).verify(0, hash_fields("x"), sig)
+
+    def test_different_seed_different_keys(self):
+        a = HmacBackend(0, SystemConfig(n=4, seed=1))
+        b = HmacBackend(0, SystemConfig(n=4, seed=2))
+        assert a.sign(MSG) != b.sign(MSG)
+
+    def test_non_bytes_rejected(self, system):
+        assert not HmacBackend(0, system).verify(0, MSG, 12345)
+
+    def test_unknown_signer(self, system):
+        backend = HmacBackend(0, system)
+        with pytest.raises(CryptoError):
+            backend._key_for(99)
+
+
+class TestNullBackend:
+    def test_accepts_everything(self):
+        backend = NullBackend()
+        assert backend.verify(0, MSG, backend.sign(MSG))
+        assert backend.verify(7, MSG, b"anything")
+
+
+class TestFactory:
+    def test_schnorr_requires_keychain(self, system):
+        with pytest.raises(CryptoError):
+            make_backend("schnorr", 0, system, keychain=None)
+
+    def test_all_names(self, system, chains):
+        assert isinstance(make_backend("schnorr", 0, system, chains[0]), SchnorrBackend)
+        assert isinstance(make_backend("hmac", 0, system), HmacBackend)
+        assert isinstance(make_backend("null", 0, system), NullBackend)
+
+    def test_unknown_name(self, system):
+        with pytest.raises(CryptoError):
+            make_backend("rot13", 0, system)
+
+    def test_signature_size_consistent(self, system, chains):
+        # All backends must advertise the same wire size so bandwidth
+        # accounting is backend-independent.
+        sizes = {
+            make_backend(name, 0, system, chains[0]).signature_size
+            for name in ("schnorr", "hmac", "null")
+        }
+        assert len(sizes) == 1

@@ -1,0 +1,115 @@
+"""Tests for repro.crypto.group: Schnorr group arithmetic."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.group import SchnorrGroup, default_group
+from repro.errors import CryptoError
+
+
+@pytest.fixture(scope="module")
+def group() -> SchnorrGroup:
+    return default_group(256)
+
+
+class TestGroupStructure:
+    def test_generator_is_member(self, group):
+        assert group.is_member(group.g)
+
+    def test_identity_is_member(self, group):
+        assert group.is_member(1)
+
+    def test_zero_not_member(self, group):
+        assert not group.is_member(0)
+
+    def test_p_not_member(self, group):
+        assert not group.is_member(group.p)
+
+    def test_non_residue_not_member(self, group):
+        # p-1 = -1 is a non-residue for safe primes (q odd).
+        assert not group.is_member(group.p - 1)
+
+    def test_exp_reduces_exponent(self, group):
+        x = 12345
+        assert group.exp(group.g, x) == group.exp(group.g, x + group.q)
+
+    def test_exp_closure(self, group):
+        rng = random.Random(1)
+        for _ in range(10):
+            e = group.random_scalar(rng)
+            assert group.is_member(group.exp(group.g, e))
+
+    def test_mul_inv_identity(self, group):
+        rng = random.Random(2)
+        a = group.exp(group.g, group.random_scalar(rng))
+        assert group.mul(a, group.inv(a)) == 1
+
+    def test_exp_adds_in_exponent(self, group):
+        a, b = 17, 3121
+        lhs = group.mul(group.exp(group.g, a), group.exp(group.g, b))
+        assert lhs == group.exp(group.g, a + b)
+
+
+class TestScalars:
+    def test_random_scalar_range(self, group):
+        rng = random.Random(3)
+        for _ in range(50):
+            s = group.random_scalar(rng)
+            assert 1 <= s < group.q
+
+    def test_scalar_from_hash_nonzero(self, group):
+        for i in range(50):
+            s = group.scalar_from_hash("t", i)
+            assert 1 <= s < group.q
+
+    def test_scalar_from_hash_deterministic(self, group):
+        assert group.scalar_from_hash("a", 1) == group.scalar_from_hash("a", 1)
+
+
+class TestHashToGroup:
+    def test_membership(self, group):
+        for i in range(20):
+            assert group.is_member(group.hash_to_group("input", i))
+
+    def test_deterministic(self, group):
+        assert group.hash_to_group("x") == group.hash_to_group("x")
+
+    def test_distinct_inputs_distinct_outputs(self, group):
+        outputs = {group.hash_to_group("in", i) for i in range(100)}
+        assert len(outputs) == 100
+
+
+class TestEncoding:
+    def test_fixed_width(self, group):
+        width = (group.p.bit_length() + 7) // 8
+        assert len(group.element_to_bytes(1)) == width
+        assert len(group.element_to_bytes(group.p - 1)) == width
+
+    def test_roundtrip(self, group):
+        x = group.exp(group.g, 777)
+        assert int.from_bytes(group.element_to_bytes(x), "big") == x
+
+
+class TestErrors:
+    def test_ensure_member_rejects(self, group):
+        with pytest.raises(CryptoError):
+            group.ensure_member(0)
+
+    def test_ensure_member_passes_through(self, group):
+        assert group.ensure_member(group.g) == group.g
+
+    def test_default_group_unknown_size(self):
+        with pytest.raises(CryptoError):
+            default_group(128)
+
+    def test_default_group_cached(self):
+        assert default_group(256) is default_group(256)
+
+
+@settings(max_examples=25)
+@given(st.integers(min_value=1, max_value=2**64))
+def test_exp_never_escapes_group(e):
+    group = default_group(256)
+    assert group.is_member(group.exp(group.g, e))

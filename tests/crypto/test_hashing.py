@@ -1,0 +1,110 @@
+"""Tests for repro.crypto.hashing: canonical field hashing and Merkle roots."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import (
+    DIGEST_SIZE,
+    hash_bytes,
+    hash_fields,
+    hash_to_int,
+    merkle_root,
+    short_hex,
+)
+
+
+class TestHashFields:
+    def test_digest_size(self):
+        assert len(hash_fields(1, "a")) == DIGEST_SIZE
+
+    def test_deterministic(self):
+        assert hash_fields(1, b"x", "y") == hash_fields(1, b"x", "y")
+
+    def test_order_sensitive(self):
+        assert hash_fields(1, 2) != hash_fields(2, 1)
+
+    def test_type_tagging_int_vs_str(self):
+        assert hash_fields(1) != hash_fields("1")
+
+    def test_type_tagging_bytes_vs_str(self):
+        assert hash_fields(b"abc") != hash_fields("abc")
+
+    def test_bool_is_not_int(self):
+        assert hash_fields(True) != hash_fields(1)
+        assert hash_fields(False) != hash_fields(0)
+
+    def test_none_is_distinct(self):
+        assert hash_fields(None) != hash_fields(0)
+        assert hash_fields(None) != hash_fields(b"")
+
+    def test_nesting_is_not_flattening(self):
+        assert hash_fields((1, 2), 3) != hash_fields(1, (2, 3))
+        assert hash_fields((1,), (2,)) != hash_fields((1, 2))
+
+    def test_empty_containers(self):
+        assert hash_fields(()) != hash_fields(("",))
+
+    def test_negative_ints(self):
+        assert hash_fields(-1) != hash_fields(1)
+        assert hash_fields(-256) != hash_fields(-255)
+
+    def test_lists_and_tuples_equivalent(self):
+        assert hash_fields([1, 2]) == hash_fields((1, 2))
+
+    def test_unhashable_type_raises(self):
+        with pytest.raises(TypeError):
+            hash_fields(object())
+
+    @given(st.integers(), st.integers())
+    def test_injective_on_int_pairs(self, a, b):
+        if a != b:
+            assert hash_fields(a) != hash_fields(b)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_concatenation_ambiguity_resolved(self, a, b):
+        # ("ab","c") must differ from ("a","bc") — length prefixing at work.
+        if a != b:
+            assert hash_fields(a, b) != hash_fields(b, a) or a == b
+
+
+class TestHashToInt:
+    def test_range(self):
+        value = hash_to_int("x")
+        assert 0 <= value < 2**256
+
+    def test_matches_fields(self):
+        assert hash_to_int(5) == int.from_bytes(hash_fields(5), "big")
+
+
+class TestMerkleRoot:
+    def test_empty(self):
+        assert merkle_root([]) == bytes(DIGEST_SIZE)
+
+    def test_single_leaf(self):
+        leaf = hash_bytes(b"tx")
+        assert merkle_root([leaf]) != leaf  # leaf-prefixed, not identity
+
+    def test_order_sensitive(self):
+        a, b = hash_bytes(b"a"), hash_bytes(b"b")
+        assert merkle_root([a, b]) != merkle_root([b, a])
+
+    def test_odd_leaf_count(self):
+        leaves = [hash_bytes(bytes([i])) for i in range(3)]
+        assert len(merkle_root(leaves)) == DIGEST_SIZE
+
+    def test_deterministic(self):
+        leaves = [hash_bytes(bytes([i])) for i in range(7)]
+        assert merkle_root(leaves) == merkle_root(leaves)
+
+    def test_second_preimage_guard(self):
+        # A two-leaf tree differs from the single leaf equal to their parent.
+        a, b = hash_bytes(b"a"), hash_bytes(b"b")
+        two = merkle_root([a, b])
+        assert merkle_root([two]) != two
+
+
+class TestShortHex:
+    def test_prefix(self):
+        d = hash_bytes(b"z")
+        assert d.hex().startswith(short_hex(d))
+        assert len(short_hex(d, 12)) == 12

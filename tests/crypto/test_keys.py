@@ -1,0 +1,87 @@
+"""Tests for repro.crypto.keys: the trusted dealer (ADKG stand-in)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.crypto.keys import TrustedDealer
+from repro.crypto.shamir import recover_secret
+from repro.errors import ThresholdError
+
+
+class TestDealing:
+    def test_one_chain_per_replica(self):
+        system = SystemConfig(n=7)
+        chains = TrustedDealer(system).deal()
+        assert [c.replica_id for c in chains] == list(range(7))
+
+    def test_public_keys_shared_and_complete(self):
+        chains = TrustedDealer(SystemConfig(n=4)).deal()
+        for chain in chains:
+            assert set(chain.public_keys) == {0, 1, 2, 3}
+            assert chain.public_keys == chains[0].public_keys
+
+    def test_deterministic_per_seed(self):
+        a = TrustedDealer(SystemConfig(n=4, seed=5)).deal()
+        b = TrustedDealer(SystemConfig(n=4, seed=5)).deal()
+        assert a[0].keypair == b[0].keypair
+        assert a[2].coin_share == b[2].coin_share
+
+    def test_different_seeds_differ(self):
+        a = TrustedDealer(SystemConfig(n=4, seed=1)).deal()
+        b = TrustedDealer(SystemConfig(n=4, seed=2)).deal()
+        assert a[0].keypair != b[0].keypair
+
+    def test_distinct_signing_keys(self):
+        chains = TrustedDealer(SystemConfig(n=7)).deal()
+        assert len({c.keypair.sk for c in chains}) == 7
+
+    def test_default_coin_threshold_is_2f_plus_1(self):
+        system = SystemConfig(n=7)  # f = 2
+        chains = TrustedDealer(system).deal()
+        assert chains[0].coin_threshold == 5
+
+    def test_explicit_coin_threshold(self):
+        chains = TrustedDealer(SystemConfig(n=4), coin_threshold=2).deal()
+        assert all(c.coin_threshold == 2 for c in chains)
+
+    def test_invalid_coin_threshold(self):
+        with pytest.raises(ThresholdError):
+            TrustedDealer(SystemConfig(n=4), coin_threshold=5)
+        with pytest.raises(ThresholdError):
+            TrustedDealer(SystemConfig(n=4), coin_threshold=0)
+
+    def test_coin_shares_reconstruct_consistently(self):
+        system = SystemConfig(n=4)
+        dealer = TrustedDealer(system, coin_threshold=3)
+        chains = dealer.deal()
+        group = chains[0].group
+        s1 = recover_secret([c.coin_share for c in chains[:3]], group.q)
+        s2 = recover_secret([c.coin_share for c in chains[1:]], group.q)
+        assert s1 == s2
+
+    def test_verification_keys_match_shares(self):
+        chains = TrustedDealer(SystemConfig(n=4)).deal()
+        group = chains[0].group
+        for chain in chains:
+            expected = group.exp(group.g, chain.coin_share.y)
+            assert chain.coin_verification_keys[chain.replica_id] == expected
+
+
+class TestObserver:
+    def test_observer_has_no_share(self):
+        observer = TrustedDealer(SystemConfig(n=4)).observer_chain()
+        assert observer.coin_share is None
+        assert observer.replica_id == -1
+
+    def test_observer_sees_same_public_material(self):
+        dealer = TrustedDealer(SystemConfig(n=4))
+        chains = dealer.deal()
+        observer = dealer.observer_chain()
+        assert observer.public_keys == chains[0].public_keys
+        assert observer.coin_verification_keys == chains[0].coin_verification_keys
+
+    def test_public_key_lookup_error(self):
+        chain = TrustedDealer(SystemConfig(n=4)).deal()[0]
+        assert chain.public_key_of(2) == chain.public_keys[2]
+        with pytest.raises(ThresholdError):
+            chain.public_key_of(9)

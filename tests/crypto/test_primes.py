@@ -1,0 +1,74 @@
+"""Tests for repro.crypto.primes: primality testing and embedded constants."""
+
+import pytest
+
+from repro.crypto.primes import (
+    SAFE_PRIME_256,
+    SAFE_PRIME_512,
+    SAFE_PRIMES,
+    find_safe_prime,
+    is_probable_prime,
+    is_safe_prime,
+)
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (1, 4, 6, 9, 15, 21, 25, 91, 100, 7917):
+            assert not is_probable_prime(c)
+
+    def test_zero_and_negatives(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(-7)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that fool a^(n-1) tests must not fool MR.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_probable_prime(carmichael)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime(2**128 + 1)
+
+
+class TestEmbeddedSafePrimes:
+    @pytest.mark.parametrize("sp", [SAFE_PRIME_256, SAFE_PRIME_512])
+    def test_relation_p_equals_2q_plus_1(self, sp):
+        assert sp.p == 2 * sp.q + 1
+
+    @pytest.mark.parametrize("sp", [SAFE_PRIME_256, SAFE_PRIME_512])
+    def test_both_components_prime(self, sp):
+        assert is_probable_prime(sp.p)
+        assert is_probable_prime(sp.q)
+
+    @pytest.mark.parametrize("sp", [SAFE_PRIME_256, SAFE_PRIME_512])
+    def test_is_safe_prime_agrees(self, sp):
+        assert is_safe_prime(sp.p)
+
+    @pytest.mark.parametrize("sp", [SAFE_PRIME_256, SAFE_PRIME_512])
+    def test_advertised_bit_length(self, sp):
+        assert sp.p.bit_length() == sp.bits
+
+    @pytest.mark.parametrize("sp", [SAFE_PRIME_256, SAFE_PRIME_512])
+    def test_generator_has_order_q(self, sp):
+        assert pow(sp.g, sp.q, sp.p) == 1
+        assert sp.g != 1
+
+    def test_registry_contents(self):
+        assert set(SAFE_PRIMES) == {256, 512}
+
+
+class TestFindSafePrime:
+    def test_finds_small_safe_prime(self):
+        sp = find_safe_prime(bits=24, seed=3)
+        assert is_safe_prime(sp.p)
+        assert sp.p == 2 * sp.q + 1
+
+    def test_deterministic_per_seed(self):
+        assert find_safe_prime(24, seed=5).p == find_safe_prime(24, seed=5).p

@@ -1,0 +1,109 @@
+"""Tests for repro.crypto.schnorr: signature correctness and rejection."""
+
+import random
+
+import pytest
+
+from repro.crypto.group import default_group
+from repro.crypto.hashing import hash_fields
+from repro.crypto.schnorr import (
+    SchnorrKeyPair,
+    SchnorrSignature,
+    require_valid,
+    schnorr_sign,
+    schnorr_verify,
+    signature_digest,
+)
+from repro.errors import SignatureError
+
+
+@pytest.fixture(scope="module")
+def group():
+    return default_group(256)
+
+
+@pytest.fixture(scope="module")
+def keypair(group):
+    return SchnorrKeyPair.generate(group, random.Random(1))
+
+
+class TestSignVerify:
+    def test_roundtrip(self, group, keypair):
+        msg = hash_fields("hello")
+        sig = schnorr_sign(group, keypair, msg)
+        assert schnorr_verify(group, keypair.pk, msg, sig)
+
+    def test_deterministic_signing(self, group, keypair):
+        msg = hash_fields("same")
+        assert schnorr_sign(group, keypair, msg) == schnorr_sign(group, keypair, msg)
+
+    def test_distinct_messages_distinct_sigs(self, group, keypair):
+        s1 = schnorr_sign(group, keypair, hash_fields("a"))
+        s2 = schnorr_sign(group, keypair, hash_fields("b"))
+        assert s1 != s2
+
+    def test_wrong_message_rejected(self, group, keypair):
+        sig = schnorr_sign(group, keypair, hash_fields("a"))
+        assert not schnorr_verify(group, keypair.pk, hash_fields("b"), sig)
+
+    def test_wrong_key_rejected(self, group, keypair):
+        other = SchnorrKeyPair.generate(group, random.Random(2))
+        msg = hash_fields("m")
+        sig = schnorr_sign(group, keypair, msg)
+        assert not schnorr_verify(group, other.pk, msg, sig)
+
+    def test_tampered_c_rejected(self, group, keypair):
+        msg = hash_fields("m")
+        sig = schnorr_sign(group, keypair, msg)
+        bad = SchnorrSignature(c=(sig.c + 1) % group.q, s=sig.s)
+        assert not schnorr_verify(group, keypair.pk, msg, bad)
+
+    def test_tampered_s_rejected(self, group, keypair):
+        msg = hash_fields("m")
+        sig = schnorr_sign(group, keypair, msg)
+        bad = SchnorrSignature(c=sig.c, s=(sig.s + 1) % group.q)
+        assert not schnorr_verify(group, keypair.pk, msg, bad)
+
+    def test_out_of_range_scalars_rejected(self, group, keypair):
+        msg = hash_fields("m")
+        assert not schnorr_verify(group, keypair.pk, msg, SchnorrSignature(0, 0))
+        assert not schnorr_verify(
+            group, keypair.pk, msg, SchnorrSignature(group.q, 1)
+        )
+
+    def test_invalid_pk_rejected(self, group, keypair):
+        msg = hash_fields("m")
+        sig = schnorr_sign(group, keypair, msg)
+        assert not schnorr_verify(group, 0, msg, sig)
+        assert not schnorr_verify(group, group.p - 1, msg, sig)
+
+
+class TestKeyDerivation:
+    def test_from_seed_deterministic(self, group):
+        k1 = SchnorrKeyPair.from_seed(group, 7, "sig", 0)
+        k2 = SchnorrKeyPair.from_seed(group, 7, "sig", 0)
+        assert k1 == k2
+
+    def test_from_seed_distinct_replicas(self, group):
+        k0 = SchnorrKeyPair.from_seed(group, 7, "sig", 0)
+        k1 = SchnorrKeyPair.from_seed(group, 7, "sig", 1)
+        assert k0.pk != k1.pk
+
+    def test_pk_matches_sk(self, group):
+        kp = SchnorrKeyPair.from_seed(group, 1, "x")
+        assert kp.pk == group.exp(group.g, kp.sk)
+
+
+class TestHelpers:
+    def test_require_valid_raises_with_context(self, group, keypair):
+        msg = hash_fields("m")
+        sig = schnorr_sign(group, keypair, msg)
+        require_valid(group, keypair.pk, msg, sig, "test message")  # no raise
+        with pytest.raises(SignatureError, match="block 42"):
+            require_valid(group, keypair.pk, hash_fields("n"), sig, "block 42")
+
+    def test_signature_digest_stable(self, group, keypair):
+        sig = schnorr_sign(group, keypair, hash_fields("m"))
+        assert signature_digest(sig) == signature_digest(sig)
+        other = schnorr_sign(group, keypair, hash_fields("o"))
+        assert signature_digest(sig) != signature_digest(other)

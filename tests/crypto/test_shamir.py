@@ -1,0 +1,127 @@
+"""Tests for repro.crypto.shamir: secret sharing and Lagrange interpolation."""
+
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.shamir import (
+    ShamirShare,
+    lagrange_at_zero,
+    recover_secret,
+    split_secret,
+    verify_share_consistency,
+)
+from repro.errors import ThresholdError
+
+MODULUS = 0x6DCA0D4AB919E36C1DEF7710F6AC5EEC304A4C9E8391F14EC30842C47672A86D
+
+
+class TestSplitRecover:
+    def test_roundtrip(self):
+        rng = random.Random(1)
+        secret = 123456789
+        shares = split_secret(secret, threshold=3, num_shares=5, modulus=MODULUS, rng=rng)
+        assert recover_secret(shares[:3], MODULUS) == secret
+
+    def test_any_threshold_subset_recovers(self):
+        rng = random.Random(2)
+        secret = 42
+        shares = split_secret(secret, 3, 6, MODULUS, rng)
+        for combo in combinations(shares, 3):
+            assert recover_secret(combo, MODULUS) == secret
+
+    def test_share_points_are_one_based(self):
+        rng = random.Random(3)
+        shares = split_secret(9, 2, 4, MODULUS, rng)
+        assert [s.x for s in shares] == [1, 2, 3, 4]
+
+    def test_threshold_one_means_every_share_is_secret(self):
+        rng = random.Random(4)
+        shares = split_secret(77, 1, 3, MODULUS, rng)
+        for share in shares:
+            assert share.y == 77
+
+    def test_fewer_than_threshold_does_not_recover(self):
+        # Not a secrecy proof, just a sanity check that t-1 points give a
+        # different polynomial evaluation than the real secret.
+        rng = random.Random(5)
+        secret = 31337
+        shares = split_secret(secret, 3, 5, MODULUS, rng)
+        assert recover_secret(shares[:2], MODULUS) != secret
+
+    def test_zero_secret(self):
+        rng = random.Random(6)
+        shares = split_secret(0, 2, 4, MODULUS, rng)
+        assert recover_secret(shares[-2:], MODULUS) == 0
+
+    def test_invalid_threshold_rejected(self):
+        rng = random.Random(7)
+        with pytest.raises(ThresholdError):
+            split_secret(1, 0, 4, MODULUS, rng)
+        with pytest.raises(ThresholdError):
+            split_secret(1, 5, 4, MODULUS, rng)
+
+    def test_unreduced_secret_rejected(self):
+        rng = random.Random(8)
+        with pytest.raises(ThresholdError):
+            split_secret(MODULUS, 2, 4, MODULUS, rng)
+
+
+class TestLagrange:
+    def test_coefficients_sum_property(self):
+        # For the constant polynomial P(x)=c, sum of lambda_j * c must be c,
+        # hence sum of coefficients must be 1.
+        lam = lagrange_at_zero([1, 2, 3], MODULUS)
+        assert sum(lam.values()) % MODULUS == 1
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ThresholdError):
+            lagrange_at_zero([1, 1, 2], MODULUS)
+
+    def test_zero_point_rejected(self):
+        with pytest.raises(ThresholdError):
+            lagrange_at_zero([0, 1], MODULUS)
+
+    def test_interpolates_known_polynomial(self):
+        # P(x) = 5 + 2x over the modulus; P(0) = 5.
+        points = [2, 7]
+        lam = lagrange_at_zero(points, MODULUS)
+        total = sum(lam[x] * ((5 + 2 * x) % MODULUS) for x in points) % MODULUS
+        assert total == 5
+
+
+class TestConsistencyAudit:
+    def test_consistent_shares_pass(self):
+        rng = random.Random(9)
+        shares = split_secret(11, 2, 4, MODULUS, rng)
+        mapping = {s.x: s for s in shares}
+        assert verify_share_consistency(mapping, 2, MODULUS)
+
+    def test_corrupted_share_detected(self):
+        rng = random.Random(10)
+        shares = split_secret(11, 2, 4, MODULUS, rng)
+        shares[1] = ShamirShare(x=shares[1].x, y=(shares[1].y + 1) % MODULUS)
+        mapping = {s.x: s for s in shares}
+        assert not verify_share_consistency(mapping, 2, MODULUS)
+
+    def test_not_enough_shares_raises(self):
+        with pytest.raises(ThresholdError):
+            verify_share_consistency({1: ShamirShare(1, 1)}, 2, MODULUS)
+
+
+@settings(max_examples=30)
+@given(
+    secret=st.integers(min_value=0, max_value=MODULUS - 1),
+    threshold=st.integers(min_value=1, max_value=5),
+    extra=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_any_threshold_subset_recovers(secret, threshold, extra, seed):
+    """The defining Shamir property, for arbitrary secrets and shapes."""
+    num_shares = threshold + extra
+    rng = random.Random(seed)
+    shares = split_secret(secret, threshold, num_shares, MODULUS, rng)
+    rng.shuffle(shares)
+    assert recover_secret(shares[:threshold], MODULUS) == secret

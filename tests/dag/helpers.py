@@ -1,0 +1,42 @@
+"""DAG test helpers: build small valid DAGs quickly."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.dag.block import Block, TxBatch, make_block
+from repro.dag.store import DagStore
+
+
+def batch(count: int = 1, at: float = 0.0, tx_size: int = 128) -> TxBatch:
+    return TxBatch(count=count, tx_size=tx_size, submit_time_sum=count * at, sample=(at,))
+
+
+def build_round(
+    store: DagStore,
+    round_: int,
+    authors: Sequence[int],
+    parents_per_author: Optional[Dict[int, List[bytes]]] = None,
+    payload_at: float = 0.0,
+) -> List[Block]:
+    """Create one block per author in ``round_``, referencing all blocks of
+    round-1 by default, and add them to the store."""
+    blocks = []
+    for author in authors:
+        if parents_per_author and author in parents_per_author:
+            parents = parents_per_author[author]
+        else:
+            parents = [
+                store.block_in_slot(round_ - 1, a).digest
+                for a in sorted(store.authors_in_round(round_ - 1))
+            ]
+        block = make_block(round_, author, parents, payload=batch(at=payload_at))
+        store.add(block)
+        blocks.append(block)
+    return blocks
+
+
+def grow_chain(store: DagStore, rounds: int, n: int) -> None:
+    """Fully-connected DAG: every author proposes in every round."""
+    for r in range(1, rounds + 1):
+        build_round(store, r, range(n))

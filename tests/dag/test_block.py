@@ -1,0 +1,133 @@
+"""Tests for repro.dag.block: block identity, payload modeling, sizes."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.crypto.backend import HmacBackend
+from repro.dag.block import (
+    EMPTY_BATCH,
+    GENESIS_ROUND,
+    TxBatch,
+    genesis_block,
+    make_block,
+)
+
+
+class TestTxBatch:
+    def test_from_times_exact_sum(self):
+        times = [1.0, 2.0, 3.0]
+        tb = TxBatch.from_times(times, tx_size=128)
+        assert tb.count == 3
+        assert tb.submit_time_sum == 6.0
+        assert tb.mean_submit_time() == 2.0
+
+    def test_from_times_empty(self):
+        tb = TxBatch.from_times([], tx_size=128)
+        assert tb.count == 0
+        assert tb.mean_submit_time() == 0.0
+
+    def test_sample_capped(self):
+        tb = TxBatch.from_times([float(i) for i in range(1000)], tx_size=1)
+        assert len(tb.sample) <= 16
+
+    def test_byte_size(self):
+        tb = TxBatch(count=10, tx_size=128)
+        assert tb.byte_size == 1280
+
+    def test_items_default_empty(self):
+        assert TxBatch(count=1, tx_size=8).items == ()
+
+
+class TestBlockIdentity:
+    def test_digest_deterministic(self):
+        a = make_block(1, 0, [])
+        b = make_block(1, 0, [])
+        assert a.digest == b.digest
+
+    def test_round_changes_digest(self):
+        assert make_block(1, 0, []).digest != make_block(2, 0, []).digest
+
+    def test_author_changes_digest(self):
+        assert make_block(1, 0, []).digest != make_block(1, 1, []).digest
+
+    def test_parents_change_digest(self):
+        g = genesis_block(0)
+        assert make_block(1, 0, []).digest != make_block(1, 0, [g.digest]).digest
+
+    def test_parent_order_changes_digest(self):
+        g0, g1 = genesis_block(0), genesis_block(1)
+        a = make_block(1, 0, [g0.digest, g1.digest])
+        b = make_block(1, 0, [g1.digest, g0.digest])
+        assert a.digest != b.digest
+
+    def test_payload_count_changes_digest(self):
+        a = make_block(1, 0, [], payload=TxBatch(1, 128))
+        b = make_block(1, 0, [], payload=TxBatch(2, 128))
+        assert a.digest != b.digest
+
+    def test_payload_timing_changes_digest(self):
+        a = make_block(1, 0, [], payload=TxBatch(1, 128, submit_time_sum=1.0))
+        b = make_block(1, 0, [], payload=TxBatch(1, 128, submit_time_sum=1.0 + 1e-9))
+        assert a.digest != b.digest
+
+    def test_payload_items_change_digest(self):
+        a = make_block(1, 0, [], payload=TxBatch(1, 8, items=(b"x",)))
+        b = make_block(1, 0, [], payload=TxBatch(1, 8, items=(b"y",)))
+        assert a.digest != b.digest
+
+    def test_repropose_index_changes_digest(self):
+        a = make_block(1, 0, [])
+        b = make_block(1, 0, [], repropose_index=1)
+        assert a.digest != b.digest
+        assert a.slot == b.slot  # same slot, different block — equivocation shape
+
+    def test_determinations_change_digest(self):
+        a = make_block(4, 0, [])
+        b = make_block(4, 0, [], determinations=((3, 1, b"\x00" * 32),))
+        assert a.digest != b.digest
+
+
+class TestSigning:
+    def test_signed_block_verifies(self):
+        system = SystemConfig(n=4)
+        backend = HmacBackend(2, system)
+        block = make_block(1, 2, [], signer=backend)
+        assert backend.verify(2, block.digest, block.signature)
+
+    def test_unsigned_block_has_none(self):
+        assert make_block(1, 0, []).signature is None
+
+
+class TestGenesis:
+    def test_round_zero(self):
+        assert genesis_block(0).round == GENESIS_ROUND
+        assert genesis_block(0).is_genesis
+
+    def test_identical_across_calls(self):
+        assert genesis_block(1).digest == genesis_block(1).digest
+
+    def test_distinct_per_author(self):
+        assert genesis_block(0).digest != genesis_block(1).digest
+
+    def test_no_parents(self):
+        assert genesis_block(3).parents == ()
+
+
+class TestWireSize:
+    def test_grows_with_parents(self):
+        g = [genesis_block(i).digest for i in range(4)]
+        small = make_block(1, 0, g[:2])
+        large = make_block(1, 0, g)
+        assert large.wire_size() == small.wire_size() + 2 * 32
+
+    def test_grows_with_payload(self):
+        a = make_block(1, 0, [], payload=TxBatch(10, 128))
+        b = make_block(1, 0, [], payload=TxBatch(20, 128))
+        assert b.wire_size() - a.wire_size() == 10 * 128
+
+    def test_empty_batch_constant(self):
+        assert EMPTY_BATCH.count == 0
+        assert EMPTY_BATCH.byte_size == 0
+
+    def test_slot_property(self):
+        assert make_block(5, 2, []).slot == (5, 2)

@@ -1,0 +1,118 @@
+"""Tests for repro.dag.ledger: total order, positions, safety checking."""
+
+import pytest
+
+from repro.dag.block import TxBatch, make_block
+from repro.dag.ledger import Ledger, check_prefix_consistency
+from repro.errors import ProtocolError
+
+
+def block_at(round_, author, txs=0):
+    return make_block(round_, author, [], payload=TxBatch(txs, 128))
+
+
+class TestAppend:
+    def test_positions_increment(self):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        r0 = ledger.append(block_at(1, 0), 1.0, b"L", k)
+        r1 = ledger.append(block_at(1, 1), 1.0, b"L", k)
+        assert (r0.position, r1.position) == (0, 1)
+
+    def test_double_commit_rejected(self):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        block = block_at(1, 0)
+        ledger.append(block, 1.0, b"L", k)
+        with pytest.raises(ProtocolError):
+            ledger.append(block, 2.0, b"L", k)
+
+    def test_membership(self):
+        ledger = Ledger()
+        block = block_at(1, 0)
+        assert block.digest not in ledger
+        ledger.append(block, 1.0, b"L", ledger.begin_leader())
+        assert block.digest in ledger
+
+    def test_leader_indices(self):
+        ledger = Ledger()
+        assert ledger.begin_leader() == 0
+        assert ledger.begin_leader() == 1
+        assert ledger.leader_count == 2
+
+    def test_record_metadata(self):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        record = ledger.append(block_at(2, 3), 5.5, b"LEAD", k)
+        assert record.commit_time == 5.5
+        assert record.via_leader == b"LEAD"
+        assert record.leader_index == k
+
+
+class TestQueries:
+    def test_iteration_and_len(self):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        for i in range(3):
+            ledger.append(block_at(1, i), 1.0, b"L", k)
+        assert len(ledger) == 3
+        assert [r.position for r in ledger] == [0, 1, 2]
+
+    def test_record_at_and_last(self):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        assert ledger.last() is None
+        ledger.append(block_at(1, 0), 1.0, b"L", k)
+        rec = ledger.append(block_at(1, 1), 2.0, b"L", k)
+        assert ledger.last() is rec
+        assert ledger.record_at(0).block.author == 0
+
+    def test_total_transactions(self):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        ledger.append(block_at(1, 0, txs=10), 1.0, b"L", k)
+        ledger.append(block_at(1, 1, txs=5), 1.0, b"L", k)
+        assert ledger.total_transactions() == 15
+
+    def test_digest_sequence(self):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        blocks = [block_at(1, i) for i in range(3)]
+        for b in blocks:
+            ledger.append(b, 1.0, b"L", k)
+        assert ledger.digest_sequence() == [b.digest for b in blocks]
+
+
+class TestPrefixConsistency:
+    def make_ledger(self, blocks):
+        ledger = Ledger()
+        k = ledger.begin_leader()
+        for b in blocks:
+            ledger.append(b, 1.0, b"L", k)
+        return ledger
+
+    def test_identical_ledgers_pass(self):
+        blocks = [block_at(1, i) for i in range(3)]
+        check_prefix_consistency([self.make_ledger(blocks), self.make_ledger(blocks)])
+
+    def test_prefix_relationship_passes(self):
+        blocks = [block_at(1, i) for i in range(4)]
+        check_prefix_consistency(
+            [self.make_ledger(blocks), self.make_ledger(blocks[:2])]
+        )
+
+    def test_divergence_detected(self):
+        a = self.make_ledger([block_at(1, 0), block_at(1, 1)])
+        b = self.make_ledger([block_at(1, 0), block_at(1, 2)])
+        with pytest.raises(ProtocolError, match="position 1"):
+            check_prefix_consistency([a, b])
+
+    def test_empty_ledgers_pass(self):
+        check_prefix_consistency([Ledger(), Ledger()])
+
+    def test_three_way_divergence_located(self):
+        a = self.make_ledger([block_at(1, 0)])
+        b = self.make_ledger([block_at(1, 0)])
+        c = self.make_ledger([block_at(1, 3)])
+        with pytest.raises(ProtocolError):
+            check_prefix_consistency([a, b, c])

@@ -1,0 +1,116 @@
+"""Tests for repro.dag.store: slot indexing, strict/permissive policies."""
+
+import pytest
+
+from repro.dag.block import genesis_block, make_block
+from repro.dag.store import DagStore
+from repro.errors import EquivocationDetected, UnknownBlockError
+
+from .helpers import build_round, grow_chain
+
+
+@pytest.fixture
+def store():
+    return DagStore(n=4, strict=True)
+
+
+@pytest.fixture
+def loose_store():
+    return DagStore(n=4, strict=False)
+
+
+class TestGenesisBootstrap:
+    def test_genesis_preinserted(self, store):
+        assert store.round_author_count(0) == 4
+        for author in range(4):
+            assert store.block_in_slot(0, author) is not None
+
+    def test_len_counts_genesis(self, store):
+        assert len(store) == 4
+
+
+class TestInsertion:
+    def test_add_and_get(self, store):
+        block = build_round(store, 1, [0])[0]
+        assert block.digest in store
+        assert store.get(block.digest) is block
+
+    def test_duplicate_add_returns_false(self, store):
+        block = build_round(store, 1, [0])[0]
+        assert store.add(block) is False
+
+    def test_strict_rejects_second_block_in_slot(self, store):
+        build_round(store, 1, [0])
+        parents = [genesis_block(a).digest for a in range(4)]
+        twin = make_block(1, 0, parents, repropose_index=1)
+        with pytest.raises(EquivocationDetected):
+            store.add(twin)
+
+    def test_permissive_keeps_both(self, loose_store):
+        build_round(loose_store, 1, [0])
+        parents = [genesis_block(a).digest for a in range(4)]
+        twin = make_block(1, 0, parents, repropose_index=1)
+        assert loose_store.add(twin)
+        assert len(loose_store.blocks_in_slot(1, 0)) == 2
+        assert loose_store.slot_is_equivocated(1, 0)
+
+    def test_first_block_wins_block_in_slot(self, loose_store):
+        first = build_round(loose_store, 1, [0])[0]
+        parents = [genesis_block(a).digest for a in range(4)]
+        loose_store.add(make_block(1, 0, parents, repropose_index=1))
+        assert loose_store.block_in_slot(1, 0) is first
+
+
+class TestLookups:
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(UnknownBlockError):
+            store.get(b"\x00" * 32)
+
+    def test_get_optional_none(self, store):
+        assert store.get_optional(b"\x00" * 32) is None
+
+    def test_missing_filters(self, store):
+        block = build_round(store, 1, [0])[0]
+        unknown = b"\x11" * 32
+        assert store.missing([block.digest, unknown]) == [unknown]
+
+    def test_blocks_in_round_sorted_by_author(self, store):
+        build_round(store, 1, [2, 0, 3, 1])
+        authors = [b.author for b in store.blocks_in_round(1)]
+        assert authors == [0, 1, 2, 3]
+
+    def test_round_author_count(self, store):
+        build_round(store, 1, [0, 2])
+        assert store.round_author_count(1) == 2
+        assert store.authors_in_round(1) == {0, 2}
+
+    def test_highest_round(self, store):
+        assert store.highest_round() == 0
+        grow_chain(store, rounds=3, n=4)
+        assert store.highest_round() == 3
+
+    def test_empty_round_queries(self, store):
+        assert store.blocks_in_round(9) == []
+        assert store.round_author_count(9) == 0
+        assert store.block_in_slot(9, 0) is None
+
+
+class TestReferenceQueries:
+    def test_parents_of(self, store):
+        blocks = build_round(store, 1, [0, 1, 2, 3])
+        parents = store.parents_of(blocks[0])
+        assert {p.author for p in parents} == {0, 1, 2, 3}
+        assert all(p.round == 0 for p in parents)
+
+    def test_parents_of_missing_raises(self, store):
+        orphan = make_block(2, 0, [b"\x22" * 32])
+        with pytest.raises(UnknownBlockError):
+            store.parents_of(orphan)
+
+    def test_direct_reference_count(self, store):
+        r1 = build_round(store, 1, [0, 1, 2, 3])
+        # round 2 blocks reference only authors 0..2 of round 1
+        subset = [b.digest for b in r1[:3]]
+        build_round(store, 2, [0, 1, 2, 3], parents_per_author={a: subset for a in range(4)})
+        assert store.direct_reference_count(r1[0].digest, 2) == 4
+        assert store.direct_reference_count(r1[3].digest, 2) == 0

@@ -1,0 +1,141 @@
+"""Tests for repro.harness.experiments and .report: sweep plumbing.
+
+Short-horizon versions of the figure sweeps: the benches run the full
+settings; here we verify the machinery and the coarse *shape* claims on
+small instances.
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    batch_size_sweep,
+    headline_comparison,
+    peak_throughput,
+    scalability_sweep,
+    tradeoff_curve,
+    unfavorable_curve,
+)
+from repro.harness.report import format_table, render_series, results_table, series_by_protocol
+
+
+@pytest.fixture(scope="module")
+def small_batch_sweep():
+    return batch_size_sweep(
+        protocols=("tusk", "lightdag2"),
+        replica_counts=(4,),
+        batch_sizes=(50, 200),
+        duration=6.0,
+        seed=1,
+    )
+
+
+class TestSweeps:
+    def test_batch_sweep_grid(self, small_batch_sweep):
+        assert len(small_batch_sweep) == 4  # 2 protocols × 2 batches
+        assert all(r.throughput_tps > 0 for r in small_batch_sweep)
+
+    def test_throughput_grows_with_batch(self, small_batch_sweep):
+        """Fig. 12a's left edge: bigger batches carry more txs per round."""
+        by_key = {
+            (r.config.protocol_name, r.config.protocol.batch_size): r
+            for r in small_batch_sweep
+        }
+        for protocol in ("tusk", "lightdag2"):
+            assert (
+                by_key[(protocol, 200)].throughput_tps
+                > by_key[(protocol, 50)].throughput_tps
+            )
+
+    def test_lightdag2_beats_tusk(self, small_batch_sweep):
+        """The paper's core comparison, at every swept point."""
+        by_key = {
+            (r.config.protocol_name, r.config.protocol.batch_size): r
+            for r in small_batch_sweep
+        }
+        for batch in (50, 200):
+            assert (
+                by_key[("lightdag2", batch)].throughput_tps
+                > by_key[("tusk", batch)].throughput_tps
+            )
+            assert (
+                by_key[("lightdag2", batch)].mean_latency
+                < by_key[("tusk", batch)].mean_latency
+            )
+
+    def test_scalability_sweep_shape(self):
+        results = scalability_sweep(
+            protocols=("lightdag1",), replica_counts=(4, 7), duration=6.0, seed=1
+        )
+        assert len(results) == 2
+        small, large = results
+        assert small.config.system.n == 4 and large.config.system.n == 7
+        # Fig. 13b: latency grows with n.
+        assert large.mean_latency > small.mean_latency
+
+    def test_tradeoff_and_peak(self):
+        results = tradeoff_curve(
+            protocols=("lightdag2",),
+            replica_counts=(4,),
+            batch_ramp=(50, 400),
+            duration=6.0,
+            seed=1,
+        )
+        peaks = peak_throughput(results)
+        assert set(peaks) == {"lightdag2@n=4"}
+        assert peaks["lightdag2@n=4"].config.protocol.batch_size == 400
+
+    def test_unfavorable_uses_worst_attack(self):
+        results = unfavorable_curve(
+            protocols=("lightdag2",),
+            replica_counts=(4,),
+            batch_ramp=(50,),
+            duration=6.0,
+            seed=1,
+        )
+        assert results[0].config.adversary_name == "worst"
+        assert results[0].throughput_tps > 0
+
+    def test_headline_comparison_ratios(self):
+        out = headline_comparison(n=4, batch_size=100, duration=6.0, seed=1,
+                                  protocols=("tusk", "lightdag2"))
+        assert out["tusk"]["tps_vs_tusk"] == pytest.approx(1.0)
+        assert out["lightdag2"]["tps_vs_tusk"] > 1.0
+        assert out["lightdag2"]["latency_reduction_vs_tusk"] > 0.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows, ["a", "b"])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([], ["a"]) == "(no rows)"
+
+    def test_results_table_renders(self, small_batch_sweep):
+        text = results_table(small_batch_sweep)
+        assert "lightdag2" in text and "tusk" in text
+
+    def test_series_by_batch(self, small_batch_sweep):
+        series = series_by_protocol(small_batch_sweep, x_field="batch")
+        assert set(series) == {"tusk@n=4", "lightdag2@n=4"}
+        xs = [x for x, _, _ in series["tusk@n=4"]]
+        assert xs == [50, 200]
+
+    def test_series_by_n(self):
+        results = scalability_sweep(
+            protocols=("tusk",), replica_counts=(4,), duration=6.0, seed=1
+        )
+        series = series_by_protocol(results, x_field="n")
+        assert set(series) == {"tusk"}
+
+    def test_series_unknown_field(self, small_batch_sweep):
+        with pytest.raises(ValueError):
+            series_by_protocol(small_batch_sweep, x_field="zzz")
+
+    def test_render_series(self, small_batch_sweep):
+        series = series_by_protocol(small_batch_sweep, x_field="batch")
+        text = render_series(series, x_name="batch")
+        assert "tps" in text and "latency_s" in text

@@ -1,0 +1,59 @@
+"""Seed robustness: the paper-shape claims must hold across seeds.
+
+The benches assert each figure's orderings at one seed; these tests sweep
+several seeds at a smaller scale and require the *orderings* (never the
+absolute numbers) to hold at every one — the guard against reproducing a
+shape by seed luck.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig, ProtocolConfig, SystemConfig
+from repro.harness.runner import run_experiment
+
+PROTOCOLS = ("tusk", "bullshark", "lightdag1", "lightdag2")
+
+
+def measure(protocol, seed, n=7, batch=400, adversary="none", duration=10.0):
+    return run_experiment(
+        ExperimentConfig(
+            system=SystemConfig(n=n, crypto="hmac", seed=seed),
+            protocol=ProtocolConfig(batch_size=batch),
+            protocol_name=protocol,
+            adversary_name=adversary,
+            duration=duration,
+            warmup=2.5,
+            seed=seed,
+        )
+    )
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+class TestFavorableOrderings:
+    def test_throughput_ordering(self, seed):
+        tps = {p: measure(p, seed).throughput_tps for p in PROTOCOLS}
+        assert tps["lightdag2"] > tps["lightdag1"]
+        assert tps["lightdag1"] > tps["tusk"]
+        assert tps["lightdag2"] > tps["bullshark"]
+
+    def test_latency_ordering(self, seed):
+        lat = {p: measure(p, seed).mean_latency for p in PROTOCOLS}
+        assert lat["lightdag2"] < lat["lightdag1"]
+        assert lat["lightdag1"] < lat["bullshark"]
+        assert lat["bullshark"] < lat["tusk"]
+
+
+@pytest.mark.parametrize("seed", [404, 505])
+class TestUnfavorableOrderings:
+    def test_lightdag2_still_best_under_attack(self, seed):
+        tps = {
+            p: measure(p, seed, adversary="worst", duration=15.0).throughput_tps
+            for p in PROTOCOLS
+        }
+        assert tps["lightdag2"] == max(tps.values())
+
+    def test_lightdag1_beats_tusk_under_attack(self, seed):
+        ld1 = measure("lightdag1", seed, adversary="worst", duration=15.0)
+        tusk = measure("tusk", seed, adversary="worst", duration=15.0)
+        assert ld1.throughput_tps > tusk.throughput_tps
+        assert ld1.mean_latency < tusk.mean_latency

@@ -1,0 +1,61 @@
+"""Integration tests for the asyncio prototype runtime.
+
+The same protocol Node classes must behave correctly over real async
+channels — this is the cross-runtime guarantee the sans-I/O layering buys.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.config import ExperimentConfig, ProtocolConfig, SystemConfig
+from repro.errors import ConfigError
+from repro.replica.runtime import build_async_experiment, run_async_experiment
+
+
+def config(protocol="lightdag2", n=4, duration=1.5, latency="lan", batch=20):
+    return ExperimentConfig(
+        system=SystemConfig(n=n, crypto="hmac", seed=1),
+        protocol=ProtocolConfig(batch_size=batch),
+        protocol_name=protocol,
+        duration=duration,
+        warmup=0.3,
+        latency_model=latency,
+        seed=1,
+    )
+
+
+class TestAsyncExperiments:
+    @pytest.mark.parametrize("protocol", ["lightdag1", "lightdag2", "tusk"])
+    def test_protocols_commit_over_asyncio(self, protocol):
+        summary = run_async_experiment(config(protocol))
+        assert summary["throughput_tps"] > 0
+        assert summary["committed_txs"] > 0
+
+    def test_safety_verified_across_replicas(self):
+        experiment = build_async_experiment(config())
+        asyncio.run(experiment.run())
+        experiment.verify_safety()  # raises on divergence
+        ledgers = experiment.ledgers()
+        assert all(len(ledger) > 0 for ledger in ledgers)
+
+    def test_summary_fields(self):
+        summary = run_async_experiment(config())
+        assert set(summary) == {
+            "throughput_tps", "mean_latency_s", "committed_txs", "messages",
+        }
+        assert summary["mean_latency_s"] > 0
+
+    def test_adversarial_configs_rejected(self):
+        cfg = config().with_updates(adversary_name="crash")
+        with pytest.raises(ConfigError, match="favorable"):
+            build_async_experiment(cfg)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            build_async_experiment(config().with_updates(protocol_name="raft"))
+
+    def test_injected_wan_latency_slows_commits(self):
+        fast = run_async_experiment(config(latency="lan", duration=1.5))
+        slow = run_async_experiment(config(latency="wan4", duration=1.5))
+        assert slow["mean_latency_s"] > fast["mean_latency_s"]

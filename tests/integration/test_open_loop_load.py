@@ -1,0 +1,62 @@
+"""Open-loop offered load (ExperimentConfig.tx_rate_per_replica).
+
+The saturating mode used by the figure benches measures the consensus
+path; the open-loop mode models real clients at a fixed rate, where
+*queueing* appears: latency stays flat below capacity and grows without
+bound above it — the other half of Fig. 14's hockey stick.
+"""
+
+import pytest
+
+from repro.config import ExperimentConfig, ProtocolConfig, SystemConfig
+from repro.harness.runner import run_experiment
+
+
+def run_at_rate(rate, protocol="lightdag2", batch=200, duration=12.0, seed=4):
+    cfg = ExperimentConfig(
+        system=SystemConfig(n=4, crypto="hmac", seed=seed),
+        protocol=ProtocolConfig(batch_size=batch),
+        protocol_name=protocol,
+        duration=duration,
+        warmup=3.0,
+        tx_rate_per_replica=rate,
+        seed=seed,
+    )
+    return run_experiment(cfg)
+
+
+class TestOpenLoop:
+    def test_throughput_tracks_offered_load_below_capacity(self):
+        result = run_at_rate(rate=500.0)
+        # 4 replicas × 500 tx/s offered; committed throughput ≈ offered.
+        assert result.throughput_tps == pytest.approx(2000, rel=0.15)
+
+    def test_latency_flat_below_capacity(self):
+        light = run_at_rate(rate=200.0)
+        moderate = run_at_rate(rate=800.0)
+        # Well under capacity, queueing is negligible: latencies within 2x.
+        assert moderate.mean_latency < 2 * light.mean_latency
+
+    def test_queueing_blowup_above_capacity(self):
+        """Offered load far above capacity: the backlog grows for the whole
+        run and measured latency reflects it."""
+        below = run_at_rate(rate=500.0, batch=100)
+        above = run_at_rate(rate=20_000.0, batch=100)
+        assert above.mean_latency > 3 * below.mean_latency
+        # Committed throughput caps at roughly batch x round rate, far
+        # below the offered 80k tx/s.
+        assert above.throughput_tps < 40_000
+
+    def test_zero_rate_means_saturating(self):
+        saturating = run_at_rate(rate=0.0)
+        # Saturating mode always fills batches: throughput well above the
+        # small open-loop rate.
+        assert saturating.throughput_tps > 4000
+
+    def test_empty_blocks_when_queue_dry(self):
+        """At a very low rate most blocks carry zero transactions — the
+        protocol must keep advancing regardless (liveness does not depend
+        on payload)."""
+        result = run_at_rate(rate=10.0)
+        assert result.rounds_reached > 30
+        assert result.throughput_tps == pytest.approx(40, rel=0.3)

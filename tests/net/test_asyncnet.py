@@ -1,0 +1,106 @@
+"""Tests for repro.net.asyncnet: the asyncio runtime."""
+
+import asyncio
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.asyncnet import AsyncCluster
+from repro.net.interfaces import Message, Node
+from repro.net.latency import FixedLatency
+
+
+@dataclass(frozen=True)
+class Note(Message):
+    text: str
+
+    def wire_size(self) -> int:
+        return len(self.text)
+
+
+class Echoer(Node):
+    def __init__(self, net):
+        super().__init__(net)
+        self.received = []
+        self.timers = []
+
+    def on_start(self):
+        if self.node_id == 0:
+            self.net.broadcast(Note("hello"))
+
+    def on_message(self, src, msg):
+        self.received.append((src, msg))
+        if isinstance(msg, Note) and msg.text == "hello" and self.node_id != 0:
+            self.net.send(src, Note(f"ack-{self.node_id}"))
+
+    def on_timer(self, tag, data=None):
+        self.timers.append((tag, data))
+
+
+def run(cluster, duration=0.3):
+    asyncio.run(cluster.run(duration))
+
+
+class TestAsyncCluster:
+    def test_broadcast_and_replies(self):
+        cluster = AsyncCluster([Echoer for _ in range(3)])
+        run(cluster)
+        acks = {m.text for _, m in cluster.nodes[0].received if m.text.startswith("ack")}
+        assert acks == {"ack-1", "ack-2"}
+
+    def test_self_delivery(self):
+        cluster = AsyncCluster([Echoer for _ in range(3)])
+        run(cluster)
+        assert any(src == 0 for src, _ in cluster.nodes[0].received)
+
+    def test_injected_latency_delays_delivery(self):
+        cluster = AsyncCluster(
+            [Echoer for _ in range(2)], latency_model=FixedLatency(10.0)
+        )
+        run(cluster, duration=0.2)
+        # hello was sent but can't arrive within 0.2s at 10s latency
+        assert cluster.nodes[1].received == []
+
+    def test_timers_fire(self):
+        class TimerNode(Echoer):
+            def on_start(self):
+                self.net.set_timer(0.05, "tick", 42)
+
+        cluster = AsyncCluster([TimerNode for _ in range(1)])
+        run(cluster, duration=0.2)
+        assert cluster.nodes[0].timers == [("tick", 42)]
+
+    def test_zero_delay_timer(self):
+        class TimerNode(Echoer):
+            def on_start(self):
+                self.net.set_timer(0.0, "now")
+
+        cluster = AsyncCluster([TimerNode for _ in range(1)])
+        run(cluster, duration=0.1)
+        assert cluster.nodes[0].timers == [("now", None)]
+
+    def test_messages_counted(self):
+        cluster = AsyncCluster([Echoer for _ in range(3)])
+        run(cluster)
+        # 3 hello deliveries + 2 acks
+        assert cluster.messages_delivered == 5
+
+    def test_post_outside_run_rejected(self):
+        cluster = AsyncCluster([Echoer for _ in range(2)])
+        with pytest.raises(NetworkError):
+            cluster.post(0, 1, Note("too-early"))
+
+    def test_invalid_destination_rejected(self):
+        class BadSender(Echoer):
+            def on_start(self):
+                self.net.send(99, Note("oops"))
+
+        cluster = AsyncCluster([BadSender for _ in range(1)])
+        with pytest.raises(NetworkError):
+            run(cluster, duration=0.05)
+
+    def test_clock_monotone(self):
+        cluster = AsyncCluster([Echoer for _ in range(2)])
+        run(cluster, duration=0.1)
+        assert cluster.now() >= 0.1

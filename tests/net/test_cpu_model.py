@@ -1,0 +1,132 @@
+"""Tests for the simulator's per-node CPU cost model (CpuCost).
+
+The CPU queue is the mechanism behind Fig. 13a's throughput decline and
+the RBC/CBC saturation gap (DESIGN.md §3), so its semantics get direct
+coverage: cost arithmetic, idle fast-path, FIFO backlog, and crash
+interplay.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.interfaces import Message, Node
+from repro.net.latency import FixedLatency
+from repro.net.simulator import CpuCost, Simulation
+
+
+@dataclass(frozen=True)
+class Blob(Message):
+    seq: int
+    size: int = 1000
+
+    def wire_size(self) -> int:
+        return self.size
+
+
+class Recorder(Node):
+    def __init__(self, net):
+        super().__init__(net)
+        self.received = []
+
+    def on_message(self, src, msg):
+        self.received.append((self.net.now(), msg.seq))
+
+
+def make_sim(cpu, n=2):
+    return Simulation(
+        [lambda net: Recorder(net) for _ in range(n)],
+        latency_model=FixedLatency(0.1),
+        bandwidth_bps=None,
+        cpu=cpu,
+    )
+
+
+class TestCpuCost:
+    def test_cost_arithmetic(self):
+        cpu = CpuCost(fixed_s=100e-6, per_byte_s=10e-9)
+        assert cpu.cost(0) == pytest.approx(100e-6)
+        assert cpu.cost(1000) == pytest.approx(110e-6)
+
+    def test_defaults_sane(self):
+        cpu = CpuCost()
+        assert 0 < cpu.cost(112) < 1e-3  # an echo costs well under 1 ms
+
+
+class TestCpuQueue:
+    def test_idle_cpu_delivers_at_arrival(self):
+        """First message in a burst is handed over at network arrival; its
+        cost only delays successors."""
+        sim = make_sim(CpuCost(fixed_s=0.01, per_byte_s=0.0))
+        sim.start()
+        sim.nodes[0].net.send(1, Blob(0))
+        sim.run()
+        (when, _), = sim.nodes[1].received
+        assert when == pytest.approx(0.1)
+
+    def test_backlog_serializes_fifo(self):
+        """Messages arriving together drain through the CPU in arrival
+        order.  The idle fast-path delivers the first message at processing
+        *start* (its cost charged to successors), queued messages at
+        processing *end* — so the first gap is 2x the quantum, later gaps
+        exactly one quantum (the documented <= one-cost approximation)."""
+        sim = make_sim(CpuCost(fixed_s=0.01, per_byte_s=0.0))
+        sim.start()
+        for seq in range(4):
+            sim.nodes[0].net.send(1, Blob(seq))
+        sim.run()
+        times = [t for t, _ in sim.nodes[1].received]
+        seqs = [s for _, s in sim.nodes[1].received]
+        assert seqs == [0, 1, 2, 3]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps[0] == pytest.approx(0.02)
+        for gap in gaps[1:]:
+            assert gap == pytest.approx(0.01)
+
+    def test_per_byte_component(self):
+        sim = make_sim(CpuCost(fixed_s=0.0, per_byte_s=1e-5))
+        sim.start()
+        sim.nodes[0].net.send(1, Blob(0, size=1000))  # 10 ms of decode
+        sim.nodes[0].net.send(1, Blob(1, size=1000))
+        sim.nodes[0].net.send(1, Blob(2, size=1000))
+        sim.run()
+        times = [t for t, _ in sim.nodes[1].received]
+        # Steady-state spacing equals the per-byte decode time.
+        assert times[2] - times[1] == pytest.approx(0.01)
+
+    def test_self_sends_bypass_cpu(self):
+        sim = make_sim(CpuCost(fixed_s=1.0, per_byte_s=0.0))
+        sim.start()
+        sim.nodes[0].net.send(0, Blob(0))
+        sim.run()
+        (when, _), = sim.nodes[0].received
+        assert when == 0.0
+
+    def test_queues_are_per_node(self):
+        """A busy CPU at replica 1 must not delay replica 0's deliveries."""
+        sim = make_sim(CpuCost(fixed_s=0.05, per_byte_s=0.0), n=3)
+        sim.start()
+        for seq in range(5):
+            sim.nodes[2].net.send(1, Blob(seq))
+        sim.nodes[2].net.send(0, Blob(99))
+        sim.run()
+        (when, seq), = sim.nodes[0].received
+        assert seq == 99 and when == pytest.approx(0.1)
+
+    def test_crash_drops_queued_work(self):
+        sim = make_sim(CpuCost(fixed_s=0.2, per_byte_s=0.0))
+        sim.start()
+        for seq in range(3):
+            sim.nodes[0].net.send(1, Blob(seq))
+        sim.crash(1, at=0.3)  # after first delivery, before the backlog drains
+        sim.run()
+        assert len(sim.nodes[1].received) < 3
+
+    def test_none_disables_model(self):
+        sim = make_sim(None)
+        sim.start()
+        for seq in range(4):
+            sim.nodes[0].net.send(1, Blob(seq))
+        sim.run()
+        times = [t for t, _ in sim.nodes[1].received]
+        assert all(t == pytest.approx(0.1) for t in times)

@@ -1,0 +1,122 @@
+"""Tests for repro.net.latency: the propagation models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.latency import (
+    WAN_REGION_DELAYS,
+    FixedLatency,
+    UniformLatency,
+    WanLatency,
+    make_latency_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+class TestFixed:
+    def test_constant(self, rng):
+        model = FixedLatency(0.07)
+        assert model.delay(0, 1, rng) == 0.07
+        assert model.delay(3, 2, rng) == 0.07
+
+    def test_self_send_free(self, rng):
+        assert FixedLatency(0.07).delay(2, 2, rng) == 0.0
+
+    def test_mean(self):
+        assert FixedLatency(0.05).mean_delay(0, 1) == 0.05
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            FixedLatency(-1)
+
+
+class TestUniform:
+    def test_range(self, rng):
+        model = UniformLatency(0.01, 0.05)
+        for _ in range(200):
+            d = model.delay(0, 1, rng)
+            assert 0.01 <= d <= 0.05
+
+    def test_self_send_free(self, rng):
+        assert UniformLatency(0.01, 0.05).delay(1, 1, rng) == 0.0
+
+    def test_mean(self):
+        assert UniformLatency(0.02, 0.04).mean_delay(0, 1) == pytest.approx(0.03)
+
+    def test_invalid_range(self):
+        with pytest.raises(ConfigError):
+            UniformLatency(0.05, 0.01)
+        with pytest.raises(ConfigError):
+            UniformLatency(-0.1, 0.1)
+
+    def test_deterministic_per_seed(self):
+        model = UniformLatency(0.0, 1.0)
+        a = [model.delay(0, 1, random.Random(9)) for _ in range(5)]
+        b = [model.delay(0, 1, random.Random(9)) for _ in range(5)]
+        assert a == b
+
+
+class TestWan:
+    def test_matrix_symmetric(self):
+        for i in range(4):
+            for j in range(4):
+                assert WAN_REGION_DELAYS[i][j] == WAN_REGION_DELAYS[j][i]
+
+    def test_region_placement_round_robin(self):
+        model = WanLatency()
+        assert model.region_of(0) == 0
+        assert model.region_of(5) == 1
+        assert model.region_of(11) == 3
+
+    def test_intra_region_cheap(self, rng):
+        model = WanLatency(jitter_frac=0.0)
+        # replicas 0 and 4 are both region 0
+        assert model.delay(0, 4, rng) == pytest.approx(0.001)
+
+    def test_inter_region_uses_matrix(self, rng):
+        model = WanLatency(jitter_frac=0.0)
+        assert model.delay(0, 1, rng) == pytest.approx(WAN_REGION_DELAYS[0][1])
+
+    def test_jitter_bounds(self, rng):
+        model = WanLatency(jitter_frac=0.1)
+        base = WAN_REGION_DELAYS[0][2]
+        for _ in range(200):
+            d = model.delay(0, 2, rng)
+            assert base * 0.9 <= d <= base * 1.1
+
+    def test_self_send_free(self, rng):
+        assert WanLatency().delay(3, 3, rng) == 0.0
+
+    def test_mean_ignores_jitter(self):
+        model = WanLatency(jitter_frac=0.1)
+        assert model.mean_delay(0, 1) == WAN_REGION_DELAYS[0][1]
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            WanLatency(jitter_frac=1.5)
+        with pytest.raises(ConfigError):
+            WanLatency(num_regions=9)
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_latency_model("fixed"), FixedLatency)
+        assert isinstance(make_latency_model("uniform"), UniformLatency)
+        assert isinstance(make_latency_model("wan4"), WanLatency)
+        lan = make_latency_model("lan")
+        assert isinstance(lan, FixedLatency)
+        assert lan.delay_s == 0.001
+
+    def test_kwargs_forwarded(self):
+        model = make_latency_model("fixed", delay_s=0.25)
+        assert model.delay_s == 0.25
+
+    def test_unknown(self):
+        with pytest.raises(ConfigError):
+            make_latency_model("carrier-pigeon")

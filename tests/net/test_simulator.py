@@ -1,0 +1,251 @@
+"""Tests for repro.net.simulator: event ordering, bandwidth, faults."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.interfaces import Message, Node
+from repro.net.latency import FixedLatency
+from repro.net.simulator import Simulation
+
+
+@dataclass(frozen=True)
+class Ping(Message):
+    seq: int
+    size: int = 100
+
+    def wire_size(self) -> int:
+        return self.size
+
+
+class Recorder(Node):
+    """Records everything it sees, optionally ping-ponging."""
+
+    def __init__(self, net, pong=False):
+        super().__init__(net)
+        self.received = []
+        self.timer_log = []
+        self.pong = pong
+
+    def on_start(self):
+        pass
+
+    def on_message(self, src, msg):
+        self.received.append((self.net.now(), src, msg))
+        if self.pong and isinstance(msg, Ping) and msg.seq < 3:
+            self.net.send(src, Ping(seq=msg.seq + 1))
+
+    def on_timer(self, tag, data=None):
+        self.timer_log.append((self.net.now(), tag, data))
+
+
+def make_sim(n=2, pong=False, **kwargs):
+    factories = [lambda net, p=pong: Recorder(net, pong=p) for _ in range(n)]
+    kwargs.setdefault("latency_model", FixedLatency(0.1))
+    return Simulation(factories, **kwargs)
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency(self):
+        sim = make_sim(bandwidth_bps=None)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))
+        sim.run()
+        (when, src, msg), = sim.nodes[1].received
+        assert when == pytest.approx(0.1)
+        assert src == 0 and msg.seq == 0
+
+    def test_self_send_immediate(self):
+        sim = make_sim()
+        sim.start()
+        sim.nodes[0].net.send(0, Ping(0))
+        sim.run()
+        (when, src, _), = sim.nodes[0].received
+        assert when == 0.0 and src == 0
+
+    def test_ping_pong_round_trips(self):
+        sim = make_sim(pong=True, bandwidth_bps=None)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))
+        sim.run()
+        # seq 0,2 land at node 1; seq 1,3 at node 0
+        assert [m.seq for _, _, m in sim.nodes[1].received] == [0, 2]
+        assert [m.seq for _, _, m in sim.nodes[0].received] == [1, 3]
+        assert sim.now == pytest.approx(0.4)
+
+    def test_broadcast_includes_self_by_default(self):
+        sim = make_sim(n=3)
+        sim.start()
+        sim.nodes[0].net.broadcast(Ping(7))
+        sim.run()
+        assert all(len(node.received) == 1 for node in sim.nodes)
+
+    def test_broadcast_exclude_self(self):
+        sim = make_sim(n=3)
+        sim.start()
+        sim.nodes[0].net.broadcast(Ping(7), include_self=False)
+        sim.run()
+        assert len(sim.nodes[0].received) == 0
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            sim = make_sim(n=3, seed=5)
+            sim.start()
+            for i in range(5):
+                sim.nodes[0].net.send(1 + i % 2, Ping(i))
+            sim.run()
+            return [(w, m.seq) for w, _, m in sim.nodes[1].received]
+
+        assert run_once() == run_once()
+
+
+class TestBandwidth:
+    def test_serialization_delay(self):
+        # 1 Mbps, 12500-byte message = 0.1s serialization + 0.1s propagation.
+        sim = make_sim(bandwidth_bps=1_000_000)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0, size=12500))
+        sim.run()
+        (when, _, _), = sim.nodes[1].received
+        assert when == pytest.approx(0.2)
+
+    def test_egress_queueing_is_fifo(self):
+        # Two large messages share the sender's NIC: the second waits.
+        sim = make_sim(bandwidth_bps=1_000_000)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0, size=12500))
+        sim.nodes[0].net.send(1, Ping(1, size=12500))
+        sim.run()
+        times = [w for w, _, _ in sim.nodes[1].received]
+        assert times[0] == pytest.approx(0.2)
+        assert times[1] == pytest.approx(0.3)
+
+    def test_no_bandwidth_model(self):
+        sim = make_sim(bandwidth_bps=None)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0, size=10**9))
+        sim.run()
+        (when, _, _), = sim.nodes[1].received
+        assert when == pytest.approx(0.1)
+
+    def test_bytes_accounted(self):
+        sim = make_sim()
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0, size=777))
+        sim.run()
+        assert sim.stats.bytes_sent == 777
+        assert sim.stats.per_node_bytes[0] == 777
+
+
+class TestTimers:
+    def test_timer_fires_at_deadline(self):
+        sim = make_sim()
+        sim.start()
+        sim.nodes[0].net.set_timer(0.5, "tick", {"k": 1})
+        sim.run()
+        assert sim.nodes[0].timer_log == [(0.5, "tick", {"k": 1})]
+
+    def test_negative_timer_rejected(self):
+        sim = make_sim()
+        sim.start()
+        with pytest.raises(SimulationError):
+            sim.nodes[0].net.set_timer(-1, "bad")
+
+    def test_run_until_cuts_off(self):
+        sim = make_sim()
+        sim.start()
+        sim.nodes[0].net.set_timer(0.5, "early")
+        sim.nodes[0].net.set_timer(2.0, "late")
+        sim.run(until=1.0)
+        assert [t for _, t, _ in sim.nodes[0].timer_log] == ["early"]
+        assert sim.now == 1.0
+
+
+class TestCrash:
+    def test_crashed_node_receives_nothing(self):
+        sim = make_sim()
+        sim.crash(1)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))
+        sim.run()
+        assert sim.nodes[1].received == []
+
+    def test_crashed_node_sends_nothing(self):
+        sim = make_sim()
+        sim.crash(0)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))
+        sim.run()
+        assert sim.nodes[1].received == []
+
+    def test_delayed_crash(self):
+        sim = make_sim()
+        sim.crash(1, at=0.15)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))  # arrives 0.1 < crash
+        sim.run(until=0.2)
+        sim.nodes[0].net.send(1, Ping(1))  # arrives 0.3 > crash
+        sim.run()
+        assert [m.seq for _, _, m in sim.nodes[1].received] == [0]
+
+    def test_crashed_timers_suppressed(self):
+        sim = make_sim()
+        sim.start()
+        sim.nodes[1].net.set_timer(0.5, "tick")
+        sim.crash(1, at=0.2)
+        sim.run()
+        assert sim.nodes[1].timer_log == []
+
+
+class TestGuards:
+    def test_event_budget(self):
+        sim = make_sim(pong=False)
+        sim.start()
+
+        class Flooder(Recorder):
+            def on_message(self, src, msg):
+                self.net.send(src, msg)  # infinite ping-pong
+
+        sim.nodes[0].__class__ = Flooder
+        sim.nodes[1].__class__ = Flooder
+        sim.nodes[0].net.send(1, Ping(0))
+        with pytest.raises(SimulationError, match="budget"):
+            sim.run(max_events=100)
+
+    def test_stop_when_predicate(self):
+        sim = make_sim(pong=True, bandwidth_bps=None)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))
+        sim.run(stop_when=lambda s: s.stats.messages_delivered >= 2)
+        assert sim.stats.messages_delivered == 2
+
+    def test_adversary_drop(self):
+        class DropAll:
+            def attach(self, sim):
+                pass
+
+            def on_send(self, src, dst, msg, now):
+                return None
+
+        sim = make_sim(adversary=DropAll())
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))
+        sim.run()
+        assert sim.nodes[1].received == []
+        assert sim.stats.messages_dropped == 1
+
+    def test_adversary_delay(self):
+        class SlowAll:
+            def attach(self, sim):
+                pass
+
+            def on_send(self, src, dst, msg, now):
+                return 1.0
+
+        sim = make_sim(adversary=SlowAll(), bandwidth_bps=None)
+        sim.start()
+        sim.nodes[0].net.send(1, Ping(0))
+        sim.run()
+        (when, _, _), = sim.nodes[1].received
+        assert when == pytest.approx(1.1)

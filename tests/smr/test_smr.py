@@ -1,0 +1,161 @@
+"""Tests for the SMR layer: commands, the KV machine, replication glue."""
+
+import pytest
+
+from repro.config import ProtocolConfig, SystemConfig
+from repro.smr.kv import KvStateMachine
+from repro.smr.machine import Command
+from repro.smr.replica import SmrCluster, SmrReplica
+
+
+def cmd(payload: bytes, nonce=0, client="c") -> Command:
+    return Command.create(client=client, payload=payload, nonce=nonce)
+
+
+class TestCommand:
+    def test_roundtrip(self):
+        command = cmd(b"SET a 1")
+        assert Command.from_bytes(command.to_bytes()) == command
+
+    def test_unique_ids(self):
+        assert cmd(b"x", nonce=1).command_id != cmd(b"x", nonce=2).command_id
+        assert cmd(b"x", client="a").command_id != cmd(b"x", client="b").command_id
+
+    def test_malformed_bytes_rejected(self):
+        from repro.codec.primitives import CodecError
+
+        with pytest.raises(CodecError):
+            Command.from_bytes(b"\xff\xff")
+
+
+class TestKvMachine:
+    def setup_method(self):
+        self.kv = KvStateMachine()
+
+    def apply(self, payload, nonce=[0]):
+        nonce[0] += 1
+        return self.kv.apply(cmd(payload, nonce=nonce[0]))
+
+    def test_set_get(self):
+        assert self.apply(b"SET name carol") == b"OK"
+        assert self.apply(b"GET name") == b"carol"
+
+    def test_get_missing(self):
+        assert self.apply(b"GET ghost") == b"NIL"
+
+    def test_set_value_with_spaces(self):
+        self.apply(b"SET msg hello world !")
+        assert self.apply(b"GET msg") == b"hello world !"
+
+    def test_del(self):
+        self.apply(b"SET k v")
+        assert self.apply(b"DEL k") == b"OK"
+        assert self.apply(b"DEL k") == b"NIL"
+
+    def test_cas_success_and_failure(self):
+        self.apply(b"SET n 1")
+        assert self.apply(b"CAS n 1 2") == b"OK"
+        assert self.apply(b"CAS n 1 3") == b"FAIL"
+        assert self.apply(b"GET n") == b"2"
+
+    def test_malformed_commands_dont_raise(self):
+        assert self.apply(b"SET onlykey").startswith(b"ERR")
+        assert self.apply(b"FROB x").startswith(b"ERR")
+        assert self.apply(b"\xff\xfe") == b"ERR not-utf8"
+
+    def test_snapshot_deterministic(self):
+        self.apply(b"SET b 2")
+        self.apply(b"SET a 1")
+        other = KvStateMachine()
+        other.apply(cmd(b"SET a 1", nonce=10))
+        other.apply(cmd(b"SET b 2", nonce=11))
+        assert self.kv.snapshot() == other.snapshot()
+        assert self.kv.state_digest() == other.state_digest()
+
+
+class TestSmrReplicaUnit:
+    def test_exactly_once_application(self):
+        """The same committed command applies once even if consensus hands
+        it back twice (LightDAG2 reproposal / duplicate block)."""
+        from repro.dag.block import TxBatch, make_block
+        from repro.dag.ledger import CommitRecord
+
+        replica = SmrReplica(0, KvStateMachine())
+        command = cmd(b"SET x 1")
+        batch = TxBatch(count=1, tx_size=8, items=(command.to_bytes(),))
+        block_a = make_block(2, 0, [], payload=batch, repropose_index=0)
+        block_b = make_block(2, 0, [], payload=batch, repropose_index=1)
+        for i, block in enumerate((block_a, block_b)):
+            replica.on_commit(CommitRecord(i, block, 1.0, b"L", 0))
+        assert replica.machine.applied_count == 1
+        assert replica.result_of(command.command_id) == b"OK"
+
+    def test_payload_source_drains(self):
+        replica = SmrReplica(0, KvStateMachine())
+        replica.submit(b"SET a 1")
+        replica.submit(b"SET b 2")
+        batch = replica.payload_source(now=1.0)
+        assert batch.count == 2
+        assert replica.payload_source(now=2.0).count == 0
+
+    def test_result_listener(self):
+        from repro.dag.block import TxBatch, make_block
+        from repro.dag.ledger import CommitRecord
+
+        replica = SmrReplica(0, KvStateMachine())
+        seen = []
+        replica.on_result(lambda command, result: seen.append((command.payload, result)))
+        command = cmd(b"SET y 9")
+        batch = TxBatch(count=1, tx_size=8, items=(command.to_bytes(),))
+        replica.on_commit(CommitRecord(0, make_block(1, 0, [], payload=batch), 1.0, b"L", 0))
+        assert seen == [(b"SET y 9", b"OK")]
+
+
+class TestSmrCluster:
+    @pytest.mark.parametrize("protocol_name", ["lightdag1", "lightdag2"])
+    def test_convergence(self, protocol_name):
+        cluster = SmrCluster.build(
+            SystemConfig(n=4, crypto="hmac", seed=1),
+            machine_factory=KvStateMachine,
+            protocol_name=protocol_name,
+            seed=1,
+        )
+        cluster.replicas[0].submit(b"SET alice 100")
+        cluster.replicas[1].submit(b"SET bob 200")
+        cluster.replicas[2].submit(b"SET alice 150")  # conflicting write
+        cluster.run(until=3.0)
+        cluster.verify_convergence()
+        states = {r.machine.state_digest() for r in cluster.replicas}
+        assert len(states) == 1
+        assert cluster.replicas[0].machine.data["bob"] == "200"
+
+    def test_results_available_at_submitting_replica(self):
+        cluster = SmrCluster.build(
+            SystemConfig(n=4, crypto="hmac", seed=2),
+            machine_factory=KvStateMachine,
+            seed=2,
+        )
+        cid = cluster.replicas[0].submit(b"SET k v")
+        cluster.run(until=3.0)
+        assert cluster.replicas[0].result_of(cid) == b"OK"
+        # Every replica computed the same result for the same command.
+        assert all(r.result_of(cid) == b"OK" for r in cluster.replicas)
+
+    def test_cas_linearizes_identically(self):
+        """Two racing CAS ops on one key: exactly one wins, and it is the
+        same winner everywhere."""
+        cluster = SmrCluster.build(
+            SystemConfig(n=4, crypto="hmac", seed=3),
+            machine_factory=KvStateMachine,
+            seed=3,
+        )
+        cluster.replicas[0].submit(b"SET n 0")
+        cluster.run(until=1.0)
+        a = cluster.replicas[1].submit(b"CAS n 0 10")
+        b = cluster.replicas[2].submit(b"CAS n 0 20")
+        cluster.run(until=4.0)
+        cluster.verify_convergence()
+        results = {cluster.replicas[1].result_of(a), cluster.replicas[2].result_of(b)}
+        assert results == {b"OK", b"FAIL"}
+        final = {r.machine.data["n"] for r in cluster.replicas}
+        assert len(final) == 1 and final.pop() in ("10", "20")

@@ -1,0 +1,73 @@
+"""Tests for the CLI (invoked in-process through main())."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--protocol", "pbft"])
+
+    def test_fig_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "99"])
+
+
+class TestCommands:
+    def test_protocols(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "lightdag2" in out and "worst_attack" in out
+
+    def test_run_prints_result(self, capsys):
+        assert main(["run", "--protocol", "lightdag1", "-n", "4",
+                     "--batch", "20", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "lightdag1" in out and "tps" in out
+
+    def test_run_with_adversary(self, capsys):
+        assert main(["run", "--protocol", "tusk", "-n", "4", "--batch", "20",
+                     "--duration", "4", "--adversary", "worst"]) == 0
+        assert "tusk" in capsys.readouterr().out
+
+    def test_run_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "r.json"
+        csv_path = tmp_path / "r.csv"
+        assert main(["run", "-n", "4", "--batch", "20", "--duration", "3",
+                     "--json", str(json_path), "--csv", str(csv_path)]) == 0
+        rows = json.loads(json_path.read_text())
+        assert rows[0]["protocol"] == "lightdag2"
+        assert csv_path.read_text().startswith("adversary")
+
+    def test_run_repeats(self, capsys):
+        assert main(["run", "-n", "4", "--batch", "20", "--duration", "3",
+                     "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tps_mean" in out and "tps_ci95" in out
+
+    def test_steps(self, capsys):
+        assert main(["steps", "--protocol", "lightdag2"]) == 0
+        assert "best=4" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "dagrider" in out and "measured_best" in out
+
+    def test_viz(self, capsys):
+        assert main(["viz", "-n", "4", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out and "#" in out
+
+    def test_fig_small(self, capsys):
+        assert main(["fig", "12", "--small", "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tusk@n=4" in out and "lightdag2@n=7" in out

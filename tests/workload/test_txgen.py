@@ -1,0 +1,127 @@
+"""Tests for repro.workload.txgen: the analytic mempool."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.workload.txgen import Mempool
+
+
+class TestSaturatingMode:
+    def test_always_full_batches(self):
+        pool = Mempool(batch_size=100, tx_size=128, rate=0.0)
+        batch = pool.take(now=5.0)
+        assert batch.count == 100
+        assert batch.submit_time_sum == pytest.approx(500.0)
+
+    def test_stamped_at_proposal(self):
+        pool = Mempool(batch_size=10, tx_size=128)
+        assert pool.take(3.0).mean_submit_time() == pytest.approx(3.0)
+
+    def test_taken_total_accumulates(self):
+        pool = Mempool(batch_size=10, tx_size=128)
+        pool.take(1.0)
+        pool.take(2.0)
+        assert pool.taken_total == 20
+
+
+class TestOpenLoopMode:
+    def test_accrual_rate(self):
+        pool = Mempool(batch_size=1000, tx_size=128, rate=100.0)
+        batch = pool.take(now=1.0)
+        assert batch.count == 100
+
+    def test_backlog_query(self):
+        pool = Mempool(batch_size=10, tx_size=128, rate=50.0)
+        assert pool.backlog(2.0) == 100
+
+    def test_batch_size_caps_drain(self):
+        pool = Mempool(batch_size=30, tx_size=128, rate=100.0)
+        batch = pool.take(now=1.0)
+        assert batch.count == 30
+        assert pool.backlog(1.0) == 70
+
+    def test_fifo_oldest_first(self):
+        pool = Mempool(batch_size=50, tx_size=128, rate=100.0)
+        first = pool.take(now=1.0)   # txs arrived in [0, 1) -> oldest 50 in [0, 0.5)
+        assert first.mean_submit_time() == pytest.approx(0.25, abs=0.02)
+        second = pool.take(now=1.0)  # the remaining 50 from [0.5, 1.0)
+        assert second.mean_submit_time() == pytest.approx(0.75, abs=0.02)
+
+    def test_empty_queue_empty_batch(self):
+        pool = Mempool(batch_size=10, tx_size=128, rate=1.0)
+        batch = pool.take(now=0.1)  # only 0.1 tx accrued -> floor 0
+        assert batch.count == 0
+
+    def test_fractional_carry_preserved(self):
+        pool = Mempool(batch_size=100, tx_size=128, rate=3.0)
+        total = 0
+        for step in range(1, 101):
+            total += pool.take(now=step / 3.0).count
+        # 100/3 * 3 = 100 arrivals give exactly 100 txs, no drift.
+        assert total == pytest.approx(100, abs=1)
+
+    def test_queueing_delay_grows_when_overloaded(self):
+        """Offered load 2x capacity: latency (now - submit) must grow —
+        the saturation hockey stick of Fig. 14."""
+        pool = Mempool(batch_size=100, tx_size=128, rate=200.0)
+        waits = []
+        for step in range(1, 20):
+            now = float(step)
+            batch = pool.take(now)
+            if batch.count:
+                waits.append(now - batch.mean_submit_time())
+        assert waits[-1] > waits[0]
+
+    def test_time_never_goes_backwards(self):
+        pool = Mempool(batch_size=10, tx_size=128, rate=10.0)
+        pool.take(5.0)
+        batch = pool.take(4.0)  # stale clock: accrual is monotone, no crash
+        assert batch.count >= 0
+
+
+class TestValidation:
+    def test_bad_batch_size(self):
+        with pytest.raises(ConfigError):
+            Mempool(batch_size=0, tx_size=128)
+
+    def test_negative_rate(self):
+        with pytest.raises(ConfigError):
+            Mempool(batch_size=1, tx_size=128, rate=-1)
+
+    def test_from_config(self):
+        from repro.config import ProtocolConfig
+
+        pool = Mempool.from_config(ProtocolConfig(batch_size=250), rate=10.0)
+        assert pool.batch_size == 250
+        assert pool.rate == 10.0
+
+
+@settings(max_examples=40)
+@given(
+    rate=st.floats(min_value=1.0, max_value=10_000.0),
+    batch=st.integers(min_value=1, max_value=1000),
+    steps=st.integers(min_value=1, max_value=30),
+)
+def test_property_conservation(rate, batch, steps):
+    """No transaction is created or destroyed: drained + queued = accrued."""
+    pool = Mempool(batch_size=batch, tx_size=128, rate=rate)
+    drained = 0
+    for step in range(1, steps + 1):
+        drained += pool.take(now=step * 0.1).count
+    remaining = pool.backlog(steps * 0.1)
+    accrued = rate * steps * 0.1
+    assert drained + remaining == pytest.approx(accrued, abs=1.5)
+
+
+@settings(max_examples=40)
+@given(
+    rate=st.floats(min_value=10.0, max_value=1000.0),
+    batch=st.integers(min_value=1, max_value=200),
+)
+def test_property_submit_times_within_window(rate, batch):
+    """Every batch's mean submit time lies inside the accrual window."""
+    pool = Mempool(batch_size=batch, tx_size=128, rate=rate)
+    result = pool.take(now=2.0)
+    if result.count:
+        assert 0.0 <= result.mean_submit_time() <= 2.0
