@@ -9,18 +9,35 @@
   Graphviz DOT (committed blocks, leaders, equivocations highlighted).
 * :mod:`repro.analysis.trace` — commit-pipeline breakdown: how much of
   the latency is broadcast dissemination vs wave ordering.
+* :mod:`repro.analysis.obs_export` — exporters for instrumented runs:
+  JSONL journal dump, Prometheus text snapshot, Chrome ``trace_event``
+  JSON (opens in Perfetto / ``about:tracing``).
 """
 
 from .dagviz import dag_to_ascii, dag_to_dot
 from .export import results_to_csv, results_to_json
-from .stats import RepeatedResult, repeat_experiment
+from .obs_export import (
+    journal_to_chrome_trace,
+    journal_to_jsonl,
+    load_journal_jsonl,
+    registry_summary_rows,
+    registry_to_prometheus,
+)
+from .stats import Aggregate, RepeatedResult, percentile, repeat_experiment
 from .trace import PipelineTrace
 
 __all__ = [
+    "Aggregate",
     "PipelineTrace",
     "RepeatedResult",
     "dag_to_ascii",
     "dag_to_dot",
+    "journal_to_chrome_trace",
+    "journal_to_jsonl",
+    "load_journal_jsonl",
+    "percentile",
+    "registry_summary_rows",
+    "registry_to_prometheus",
     "repeat_experiment",
     "results_to_csv",
     "results_to_json",

@@ -25,6 +25,11 @@ def _rows(results: Iterable) -> List[dict]:
 def _jsonable(value):
     if isinstance(value, (int, float, str, bool)) or value is None:
         return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_jsonable(v) for v in items]
     return str(value)
 
 

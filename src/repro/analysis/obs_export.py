@@ -1,0 +1,264 @@
+"""Exporters for the :mod:`repro.obs` instrumentation layer.
+
+Three output formats, one source of truth (the registry + journal of an
+instrumented run):
+
+* :func:`journal_to_jsonl` — one JSON object per line, in event order.
+  ``grep``-able, ``jq``-able, and the determinism witness (same seed →
+  byte-identical dump).
+* :func:`registry_to_prometheus` — a Prometheus text-format snapshot
+  (``# TYPE`` headers, labeled series, cumulative histogram buckets), so
+  run telemetry can be diffed or fed to any Prometheus-speaking tool.
+* :func:`journal_to_chrome_trace` — Chrome ``trace_event`` JSON that opens
+  directly in ``about:tracing`` / `Perfetto <https://ui.perfetto.dev>`_.
+  Replicas become processes; per-author lanes carry **dissemination**
+  spans (block proposed → delivered here) and **ordering** spans (block
+  delivered here → committed here) — the paper's two latency terms,
+  visible per block.
+
+:func:`registry_summary_rows` backs the ``repro report`` CLI table.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..obs import EventJournal, Histogram, MetricsRegistry
+
+PathLike = Optional[Union[str, Path]]
+
+
+def _maybe_write(text: str, path: PathLike) -> str:
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+# -- JSONL journal dump ------------------------------------------------------
+
+
+def journal_to_jsonl(journal: EventJournal, path: PathLike = None) -> str:
+    """Serialize the journal as one compact JSON object per line."""
+    lines = [
+        json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":"))
+        for event in journal
+    ]
+    return _maybe_write("\n".join(lines) + ("\n" if lines else ""), path)
+
+
+def load_journal_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Read back a JSONL journal dump as a list of event dicts."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+
+
+# -- Prometheus text snapshot ------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _prom_number(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def registry_to_prometheus(registry: MetricsRegistry, path: PathLike = None) -> str:
+    """Render the registry in the Prometheus exposition text format."""
+    lines: List[str] = []
+    seen_types: set = set()
+    for name, kind, labels, inst in registry.series():
+        pname = _prom_name(name)
+        if pname not in seen_types:
+            seen_types.add(pname)
+            lines.append(f"# TYPE {pname} {kind}")
+        if isinstance(inst, Histogram):
+            cumulative = 0
+            for upper, count in zip(inst.buckets, inst.bucket_counts):
+                cumulative += count
+                bucket_labels = dict(labels, le=_prom_number(upper))
+                lines.append(
+                    f"{pname}_bucket{_prom_labels(bucket_labels)} {cumulative}"
+                )
+            lines.append(
+                f"{pname}_bucket{_prom_labels(dict(labels, le='+Inf'))} {inst.count}"
+            )
+            lines.append(f"{pname}_sum{_prom_labels(labels)} {_prom_number(inst.total)}")
+            lines.append(f"{pname}_count{_prom_labels(labels)} {inst.count}")
+        else:
+            lines.append(f"{pname}{_prom_labels(labels)} {_prom_number(inst.value)}")
+    return _maybe_write("\n".join(lines) + ("\n" if lines else ""), path)
+
+
+# -- Chrome trace_event JSON -------------------------------------------------
+
+#: Journal event types the trace exporter pairs into spans.
+_PROPOSE, _DELIVER, _COMMIT = "block.propose", "block.deliver", "block.commit"
+
+#: Event types rendered as instants on the acting replica's main lane.
+_INSTANT_TYPES = {
+    "coin.reveal": "coin",
+    "coin.recover_request": "coin",
+    "wave.commit": "commit",
+    "retrieval.request": "retrieval",
+    "stall.rebroadcast": "recovery",
+    "adversary.drop": "adversary",
+    "adversary.delay": "adversary",
+}
+
+#: tid of the per-replica instant lane (author lanes are 1 + author).
+_MAIN_LANE = 0
+
+
+def _us(t: float) -> float:
+    return t * 1e6
+
+
+def journal_to_chrome_trace(journal: EventJournal, path: PathLike = None) -> str:
+    """Render the journal as Chrome ``trace_event`` JSON.
+
+    Layout: one *process* per replica; inside it, lane 0 carries instant
+    events (coin reveals, wave commits, retrievals, adversary actions) and
+    lane ``1 + author`` carries the block spans originating from that
+    author — a **dissemination** span from the author's proposal to the
+    local delivery, and an **ordering** span from local delivery to local
+    commitment.  Open the file in ``about:tracing`` or Perfetto.
+    """
+    events: List[dict] = []
+    nodes: set = set()
+    proposed_at: Dict[str, float] = {}
+    delivered_at: Dict[tuple, float] = {}
+
+    for event in journal:
+        nodes.add(event.node)
+        data = event.data
+        if event.type == _PROPOSE:
+            digest = data.get("digest")
+            if digest is not None and digest not in proposed_at:
+                proposed_at[digest] = event.t
+        elif event.type == _DELIVER:
+            digest = data.get("digest")
+            author = data.get("author", 0)
+            delivered_at[(event.node, digest)] = event.t
+            start = proposed_at.get(digest)
+            if start is not None:
+                events.append({
+                    "name": f"disseminate r{data.get('round')}/a{author}",
+                    "cat": "dissemination",
+                    "ph": "X",
+                    "ts": _us(start),
+                    "dur": max(_us(event.t - start), 0.0),
+                    "pid": event.node,
+                    "tid": 1 + int(author),
+                    "args": {"digest": digest},
+                })
+        elif event.type == _COMMIT:
+            digest = data.get("digest")
+            author = data.get("author", 0)
+            start = delivered_at.get((event.node, digest))
+            if start is not None:
+                events.append({
+                    "name": f"order r{data.get('round')}/a{author}",
+                    "cat": "ordering",
+                    "ph": "X",
+                    "ts": _us(start),
+                    "dur": max(_us(event.t - start), 0.0),
+                    "pid": event.node,
+                    "tid": 1 + int(author),
+                    "args": {"digest": digest, "wave": data.get("wave")},
+                })
+        else:
+            cat = _INSTANT_TYPES.get(event.type)
+            if cat is not None:
+                events.append({
+                    "name": event.type,
+                    "cat": cat,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": _us(event.t),
+                    "pid": event.node,
+                    "tid": _MAIN_LANE,
+                    "args": {
+                        k: v for k, v in data.items() if not isinstance(v, dict)
+                    },
+                })
+
+    metadata: List[dict] = []
+    for node in sorted(nodes):
+        label = f"replica {node}" if node >= 0 else "network"
+        metadata.append({
+            "name": "process_name", "ph": "M", "pid": node, "tid": _MAIN_LANE,
+            "args": {"name": label},
+        })
+        metadata.append({
+            "name": "thread_name", "ph": "M", "pid": node, "tid": _MAIN_LANE,
+            "args": {"name": "events"},
+        })
+    named_lanes: set = set()
+    for event in events:
+        key = (event["pid"], event["tid"])
+        if event["tid"] != _MAIN_LANE and key not in named_lanes:
+            named_lanes.add(key)
+            metadata.append({
+                "name": "thread_name", "ph": "M",
+                "pid": event["pid"], "tid": event["tid"],
+                "args": {"name": f"blocks from author {event['tid'] - 1}"},
+            })
+
+    trace = {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "sim-seconds -> us"},
+    }
+    return _maybe_write(json.dumps(trace, indent=1, sort_keys=True), path)
+
+
+# -- summary table (repro report) -------------------------------------------
+
+
+def registry_summary_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    """One table row per series: name, labels, and a value summary."""
+    rows: List[Dict[str, object]] = []
+    for name, kind, labels, inst in registry.series():
+        label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        if isinstance(inst, Histogram):
+            if not inst.count:
+                continue
+            rows.append({
+                "metric": name, "labels": label_text, "kind": kind,
+                "count": inst.count,
+                "value": round(inst.total, 6),
+                "mean": round(inst.mean, 6),
+                "p95": round(inst.quantile(0.95), 6),
+                "max": round(inst.max, 6),
+            })
+        else:
+            value = float(inst.value)
+            rows.append({
+                "metric": name, "labels": label_text, "kind": kind,
+                "count": "",
+                "value": int(value) if value.is_integer() else round(value, 6),
+                "mean": "", "p95": "", "max": "",
+            })
+    return rows

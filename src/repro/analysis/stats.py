@@ -1,20 +1,42 @@
-"""Repetition statistics (§VI-A: experiments repeated five times).
+"""Shared statistics: percentiles, aggregates, repetition runs (§VI-A).
 
-A single simulated run is deterministic per seed, so "experimental error"
-in this reproduction means *seed sensitivity* (coin outcomes, jitter
-draws).  :func:`repeat_experiment` runs a config across several seeds and
-aggregates mean, sample standard deviation, and a normal-approximation
-95% confidence interval — the error bars a figure would carry.
+Two layers live here:
+
+* **Primitives** — :func:`percentile` (linear interpolation over sorted
+  samples; the single implementation shared by
+  :mod:`repro.workload.metrics` and :class:`Aggregate`) and
+  :class:`Aggregate` (mean/stdev/CI/quantiles over a sample list).
+* **Repetition** — a single simulated run is deterministic per seed, so
+  "experimental error" in this reproduction means *seed sensitivity*
+  (coin outcomes, jitter draws).  :func:`repeat_experiment` runs a config
+  across several seeds and aggregates mean, sample standard deviation,
+  and a normal-approximation 95% confidence interval — the error bars a
+  figure would carry.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from ..config import ExperimentConfig
-from ..harness.runner import ExperimentResult, run_experiment
+
+if TYPE_CHECKING:  # imported lazily at call time to avoid a cycle with harness
+    from ..harness.runner import ExperimentResult
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of pre-sorted data (q in [0, 1])."""
+    if not sorted_values:
+        return math.nan
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
 
 
 @dataclass(frozen=True)
@@ -29,6 +51,12 @@ class Aggregate:
     @classmethod
     def of(cls, values: List[float]) -> "Aggregate":
         n = len(values)
+        if n == 0:
+            # An empty sample set aggregates to NaN, not a crash — e.g. a
+            # PipelineTrace over a run that committed nothing.
+            return cls(
+                mean=math.nan, stdev=math.nan, ci95_half_width=math.nan, samples=()
+            )
         mean = sum(values) / n
         if n > 1:
             variance = sum((v - mean) ** 2 for v in values) / (n - 1)
@@ -38,6 +66,18 @@ class Aggregate:
             stdev = 0.0
             ci = 0.0
         return cls(mean=mean, stdev=stdev, ci95_half_width=ci, samples=tuple(values))
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolation quantile over the retained samples."""
+        return percentile(sorted(self.samples), q)
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.5)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
 
 
 @dataclass(frozen=True)
@@ -69,9 +109,11 @@ def repeat_experiment(cfg: ExperimentConfig, repeats: int = 5) -> RepeatedResult
     Seeds are derived as ``cfg.seed, cfg.seed+1, …`` so a repetition set is
     itself reproducible.
     """
+    from ..harness.runner import run_experiment
+
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    runs: List[ExperimentResult] = []
+    runs: List["ExperimentResult"] = []
     for k in range(repeats):
         seeded = cfg.with_updates(
             seed=cfg.seed + k,

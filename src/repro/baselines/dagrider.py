@@ -34,6 +34,7 @@ class DagRiderNode(BaseDagNode):
             quorum=self.system.quorum,
             amplify_threshold=self.system.validity_quorum,
             on_deliver=self._on_deliver,
+            obs=self.obs,
         )
 
     def _manager_for_round(self, round_: int) -> RbcManager:

@@ -23,6 +23,7 @@ from typing import Callable, Dict, Optional, Set
 
 from ..crypto.hashing import Digest
 from ..dag.block import Block
+from ..obs import NULL_OBS, Observability
 
 DeliverCallback = Callable[[Block], None]
 
@@ -42,9 +43,18 @@ class InstanceState:
 class InstanceTracker:
     """Digest-keyed instance states plus the single-delivery discipline."""
 
-    def __init__(self, on_deliver: DeliverCallback) -> None:
+    def __init__(
+        self,
+        on_deliver: DeliverCallback,
+        obs: Optional[Observability] = None,
+        primitive: str = "",
+    ) -> None:
         self._instances: Dict[Digest, InstanceState] = {}
         self._on_deliver = on_deliver
+        # Per-primitive delivery accounting (no-op when uninstrumented).
+        self._delivered_ctr = (obs or NULL_OBS).metrics.counter(
+            "broadcast.delivered", primitive=primitive
+        )
 
     def state(self, digest: Digest) -> InstanceState:
         inst = self._instances.get(digest)
@@ -73,6 +83,7 @@ class InstanceTracker:
         if inst.delivered or not inst.ready or inst.body is None or not predicate_met:
             return False
         inst.delivered = True
+        self._delivered_ctr.inc()
         self._on_deliver(inst.body)
         return True
 

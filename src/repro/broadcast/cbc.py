@@ -24,11 +24,12 @@ precisely to patch this.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..crypto.hashing import Digest
 from ..dag.block import Block
 from ..net.interfaces import NetworkAPI
+from ..obs import NULL_OBS, Observability
 from .base import DeliverCallback, InstanceTracker
 from .messages import BlockEcho, BlockVal
 
@@ -39,10 +40,25 @@ class CbcManager:
     #: Communication steps a full CBC takes (VAL + ECHO).
     STEPS = 2
 
-    def __init__(self, net: NetworkAPI, quorum: int, on_deliver: DeliverCallback) -> None:
+    def __init__(
+        self,
+        net: NetworkAPI,
+        quorum: int,
+        on_deliver: DeliverCallback,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.net = net
         self.quorum = quorum
-        self.tracker = InstanceTracker(on_deliver)
+        obs = obs or NULL_OBS
+        metrics = obs.metrics
+        metrics.gauge("broadcast.steps", primitive="cbc").set(self.STEPS)
+        self._vals_ctr = metrics.counter("broadcast.vals_sent", primitive="cbc")
+        self._echoes_ctr = metrics.counter("broadcast.echoes_sent", primitive="cbc")
+        self._refresh_ctr = metrics.counter("broadcast.vote_refreshes", primitive="cbc")
+        self._retrieved_ctr = metrics.counter(
+            "broadcast.retrieved_deliveries", primitive="cbc"
+        )
+        self.tracker = InstanceTracker(on_deliver, obs=obs, primitive="cbc")
         #: digests this replica has echoed, per slot (vote bookkeeping for
         #: protocol policies; LightDAG1 allows one entry, LightDAG2 several).
         self.votes_by_slot: Dict[Tuple[int, int], List[Digest]] = {}
@@ -50,6 +66,7 @@ class CbcManager:
     # -- proposer side ---------------------------------------------------------
 
     def broadcast(self, block: Block) -> None:
+        self._vals_ctr.inc()
         self.net.broadcast(BlockVal(block))
 
     # -- receiver side ---------------------------------------------------------
@@ -68,6 +85,7 @@ class CbcManager:
         if block.digest in voted:
             return
         voted.append(block.digest)
+        self._echoes_ctr.inc()
         self.net.broadcast(
             BlockEcho(round=block.round, author=block.author, digest=block.digest)
         )
@@ -83,6 +101,7 @@ class CbcManager:
         stall-recovery path after message loss (partition heal): echoes are
         idempotent at receivers, so this is safe to repeat."""
         if block.digest in self.votes_by_slot.get(block.slot, ()):
+            self._refresh_ctr.inc()
             self.net.broadcast(
                 BlockEcho(round=block.round, author=block.author, digest=block.digest)
             )
@@ -107,7 +126,10 @@ class CbcManager:
         Bypassing the local echo/ready quorum is what lets a replica that
         missed whole rounds of broadcast traffic catch back up."""
         inst = self.tracker.mark_ready(digest)
-        return self.tracker.try_deliver(inst, predicate_met=True)
+        delivered = self.tracker.try_deliver(inst, predicate_met=True)
+        if delivered:
+            self._retrieved_ctr.inc()
+        return delivered
 
     def _predicate(self, inst) -> bool:
         return len(inst.echoers) >= self.quorum

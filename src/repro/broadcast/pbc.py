@@ -16,9 +16,12 @@ uniformly across broadcast kinds.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..crypto.hashing import Digest
 from ..dag.block import Block
 from ..net.interfaces import NetworkAPI
+from ..obs import NULL_OBS, Observability
 from .base import DeliverCallback, InstanceTracker
 from .messages import BlockVal
 
@@ -29,15 +32,29 @@ class PbcManager:
     #: Communication steps a PBC takes (for the step-latency model).
     STEPS = 1
 
-    def __init__(self, net: NetworkAPI, on_deliver: DeliverCallback) -> None:
+    def __init__(
+        self,
+        net: NetworkAPI,
+        on_deliver: DeliverCallback,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.net = net
-        self.tracker = InstanceTracker(on_deliver)
+        obs = obs or NULL_OBS
+        metrics = obs.metrics
+        metrics.gauge("broadcast.steps", primitive="pbc").set(self.STEPS)
+        self._vals_ctr = metrics.counter("broadcast.vals_sent", primitive="pbc")
+        self._equiv_ctr = metrics.counter("broadcast.equivocations", primitive="pbc")
+        self._retrieved_ctr = metrics.counter(
+            "broadcast.retrieved_deliveries", primitive="pbc"
+        )
+        self.tracker = InstanceTracker(on_deliver, obs=obs, primitive="pbc")
 
     # -- proposer side ---------------------------------------------------------
 
     def broadcast(self, block: Block) -> None:
         """Send the block to everyone (including ourselves, so the proposer
         runs the same delivery path as every other replica)."""
+        self._vals_ctr.inc()
         self.net.broadcast(BlockVal(block))
 
     def equivocate(self, assignments: dict) -> None:
@@ -46,6 +63,7 @@ class PbcManager:
         ``assignments`` maps destination replica id to the block it should
         receive.  Only adversarial node implementations call this.
         """
+        self._equiv_ctr.inc()
         for dst, block in assignments.items():
             self.net.send(dst, BlockVal(block))
 
@@ -67,7 +85,10 @@ class PbcManager:
     def deliver_retrieved(self, digest: Digest) -> bool:
         """§IV-A direct delivery of a digest-pinned retrieved block (for
         PBC this coincides with mark_ready — no quorum to bypass)."""
-        return self.mark_ready(digest)
+        delivered = self.mark_ready(digest)
+        if delivered:
+            self._retrieved_ctr.inc()
+        return delivered
 
     def is_delivered(self, digest: Digest) -> bool:
         return self.tracker.is_delivered(digest)

@@ -17,11 +17,12 @@ Three message steps → the 3× latency multiplier that motivates the paper
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from ..crypto.hashing import Digest
 from ..dag.block import Block
 from ..net.interfaces import NetworkAPI
+from ..obs import NULL_OBS, Observability
 from .base import DeliverCallback, InstanceTracker
 from .messages import BlockEcho, BlockReady, BlockVal
 
@@ -38,11 +39,25 @@ class RbcManager:
         quorum: int,
         amplify_threshold: int,
         on_deliver: DeliverCallback,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.net = net
         self.quorum = quorum  # n - f: echo→ready and ready→deliver threshold
         self.amplify_threshold = amplify_threshold  # f + 1: ready amplification
-        self.tracker = InstanceTracker(on_deliver)
+        obs = obs or NULL_OBS
+        metrics = obs.metrics
+        metrics.gauge("broadcast.steps", primitive="rbc").set(self.STEPS)
+        self._vals_ctr = metrics.counter("broadcast.vals_sent", primitive="rbc")
+        self._echoes_ctr = metrics.counter("broadcast.echoes_sent", primitive="rbc")
+        self._readies_ctr = metrics.counter("broadcast.readies_sent", primitive="rbc")
+        self._amplified_ctr = metrics.counter(
+            "broadcast.ready_amplifications", primitive="rbc"
+        )
+        self._refresh_ctr = metrics.counter("broadcast.vote_refreshes", primitive="rbc")
+        self._retrieved_ctr = metrics.counter(
+            "broadcast.retrieved_deliveries", primitive="rbc"
+        )
+        self.tracker = InstanceTracker(on_deliver, obs=obs, primitive="rbc")
         self._echoed_slots: Set[Tuple[int, int]] = set()
         self._echoed_digest: Dict[Tuple[int, int], Digest] = {}
         self._slot_of_digest: Dict[Digest, Tuple[int, int]] = {}
@@ -50,6 +65,7 @@ class RbcManager:
     # -- proposer side ---------------------------------------------------------
 
     def broadcast(self, block: Block) -> None:
+        self._vals_ctr.inc()
         self.net.broadcast(BlockVal(block))
 
     # -- receiver side ---------------------------------------------------------
@@ -67,6 +83,7 @@ class RbcManager:
             return
         self._echoed_slots.add(block.slot)
         self._echoed_digest[block.slot] = block.digest
+        self._echoes_ctr.inc()
         self.net.broadcast(
             BlockEcho(round=block.round, author=block.author, digest=block.digest)
         )
@@ -76,6 +93,7 @@ class RbcManager:
         already endorsed — stall recovery after message loss."""
         if self._echoed_digest.get(block.slot) != block.digest:
             return
+        self._refresh_ctr.inc()
         self.net.broadcast(
             BlockEcho(round=block.round, author=block.author, digest=block.digest)
         )
@@ -98,13 +116,20 @@ class RbcManager:
         inst.readiers.add(src)
         self._slot_of_digest.setdefault(ready.digest, (ready.round, ready.author))
         if len(inst.readiers) >= self.amplify_threshold:
-            self._maybe_send_ready(ready.round, ready.author, ready.digest, inst)
+            self._maybe_send_ready(
+                ready.round, ready.author, ready.digest, inst, amplified=True
+            )
         return self.tracker.try_deliver(inst, self._predicate(inst))
 
-    def _maybe_send_ready(self, round_: int, author: int, digest: Digest, inst) -> None:
+    def _maybe_send_ready(
+        self, round_: int, author: int, digest: Digest, inst, amplified: bool = False
+    ) -> None:
         if inst.sent_ready:
             return
         inst.sent_ready = True
+        self._readies_ctr.inc()
+        if amplified:
+            self._amplified_ctr.inc()
         self.net.broadcast(BlockReady(round=round_, author=author, digest=digest))
 
     def mark_ready(self, digest: Digest) -> bool:
@@ -121,7 +146,10 @@ class RbcManager:
         Bypassing the local echo/ready quorum is what lets a replica that
         missed whole rounds of broadcast traffic catch back up."""
         inst = self.tracker.mark_ready(digest)
-        return self.tracker.try_deliver(inst, predicate_met=True)
+        delivered = self.tracker.try_deliver(inst, predicate_met=True)
+        if delivered:
+            self._retrieved_ctr.inc()
+        return delivered
 
     def _predicate(self, inst) -> bool:
         return len(inst.readiers) >= self.quorum

@@ -3,6 +3,7 @@
 Commands
 --------
 ``run``        one experiment (protocol, n, batch, adversary, …)
+``report``     instrumented run + full metrics/journal summary tables
 ``table1``     regenerate Table I (paper vs measured communication steps)
 ``fig``        regenerate a figure sweep (12, 13, 14 or 15)
 ``steps``      measure one protocol's commit latency in steps
@@ -10,7 +11,9 @@ Commands
 ``protocols``  list available protocols and their worst-case attack
 
 Every command prints a plain-text table; ``run`` can additionally persist
-JSON/CSV via ``--json``/``--csv``.
+JSON/CSV via ``--json``/``--csv``, and — when instrumented — a Chrome
+trace (``--trace``, opens in Perfetto), a Prometheus text snapshot
+(``--metrics``) and a JSONL event journal (``--journal``).
 """
 
 from __future__ import annotations
@@ -20,6 +23,12 @@ import sys
 from typing import List, Optional
 
 from .analysis.export import results_to_csv, results_to_json
+from .analysis.obs_export import (
+    journal_to_chrome_trace,
+    journal_to_jsonl,
+    registry_summary_rows,
+    registry_to_prometheus,
+)
 from .analysis.stats import repeat_experiment
 from .config import ExperimentConfig, ProtocolConfig, SystemConfig
 from .harness.experiments import (
@@ -31,6 +40,7 @@ from .harness.experiments import (
 from .harness.report import format_table, render_series, results_table, series_by_protocol
 from .harness.runner import PROTOCOL_REGISTRY, WORST_ATTACK, run_experiment
 from .harness.steps import measure_commit_steps, table1_rows
+from .obs import EventJournal, MetricsRegistry, Observability
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +68,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeds to average over (§VI-A uses 5)")
     run_p.add_argument("--json", metavar="PATH", help="write results JSON")
     run_p.add_argument("--csv", metavar="PATH", help="write results CSV")
+    run_p.add_argument("--trace", metavar="PATH",
+                       help="write a Chrome trace_event JSON (Perfetto)")
+    run_p.add_argument("--metrics", metavar="PATH",
+                       help="write a Prometheus text metrics snapshot")
+    run_p.add_argument("--journal", metavar="PATH",
+                       help="write the structured event journal as JSONL")
+
+    report_p = sub.add_parser(
+        "report", help="instrumented run + metrics/journal summary"
+    )
+    report_p.add_argument("--protocol", default="lightdag2",
+                          choices=sorted(PROTOCOL_REGISTRY))
+    report_p.add_argument("-n", "--replicas", type=int, default=7)
+    report_p.add_argument("--batch", type=int, default=400)
+    report_p.add_argument("--adversary", default="none",
+                          choices=["none", "crash", "leader-delay", "equivocate",
+                                   "random-sched", "worst"])
+    report_p.add_argument("--duration", type=float, default=10.0)
+    report_p.add_argument("--warmup", type=float, default=2.0)
+    report_p.add_argument("--seed", type=int, default=0)
+    report_p.add_argument("--crypto", default="hmac",
+                          choices=["schnorr", "hmac", "null"])
 
     sub.add_parser("table1", help="Table I: paper vs measured step counts")
 
@@ -86,8 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args) -> int:
-    cfg = ExperimentConfig(
+def _make_config(args) -> ExperimentConfig:
+    return ExperimentConfig(
         system=SystemConfig(n=args.replicas, crypto=args.crypto, seed=args.seed),
         protocol=ProtocolConfig(batch_size=args.batch),
         protocol_name=args.protocol,
@@ -96,20 +128,65 @@ def _cmd_run(args) -> int:
         warmup=args.warmup,
         seed=args.seed,
     )
+
+
+def _export_obs(obs: Observability, args) -> None:
+    if args.trace:
+        journal_to_chrome_trace(obs.journal, args.trace)
+        print(f"wrote {args.trace} (open in Perfetto / about:tracing)")
+    if args.metrics:
+        registry_to_prometheus(obs.metrics, args.metrics)
+        print(f"wrote {args.metrics}")
+    if args.journal:
+        journal_to_jsonl(obs.journal, args.journal)
+        print(f"wrote {args.journal}")
+
+
+def _cmd_run(args) -> int:
+    cfg = _make_config(args)
+    want_obs = bool(args.trace or args.metrics or args.journal)
     if args.repeats > 1:
+        if want_obs:
+            print("note: --trace/--metrics/--journal need a single run; "
+                  "ignoring them with --repeats > 1", file=sys.stderr)
         repeated = repeat_experiment(cfg, repeats=args.repeats)
         print(format_table([repeated.row()], list(repeated.row())))
         results = list(repeated.runs)
     else:
-        result = run_experiment(cfg)
+        obs = Observability(MetricsRegistry(), EventJournal()) if want_obs else None
+        result = run_experiment(cfg, obs=obs)
         print(results_table([result]))
         results = [result]
+        if obs is not None:
+            _export_obs(obs, args)
     if args.json:
         results_to_json(results, args.json)
         print(f"wrote {args.json}")
     if args.csv:
         results_to_csv(results, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    cfg = _make_config(args)
+    obs = Observability(MetricsRegistry(), EventJournal())
+    result = run_experiment(cfg, obs=obs)
+    print(results_table([result]))
+    print()
+    rows = registry_summary_rows(obs.metrics)
+    print(format_table(
+        rows, ["metric", "labels", "kind", "count", "value", "mean", "p95", "max"]
+    ))
+    print()
+    journal_rows = [
+        {"event": type_, "count": count}
+        for type_, count in sorted(obs.journal.counts_by_type().items())
+    ]
+    if journal_rows:
+        print(format_table(journal_rows, ["event", "count"]))
+    print(f"\n{len(obs.journal)} journal events, "
+          f"{len(obs.metrics)} metric series")
     return 0
 
 
@@ -208,6 +285,7 @@ def _cmd_protocols(args) -> int:
 
 _HANDLERS = {
     "run": _cmd_run,
+    "report": _cmd_report,
     "table1": _cmd_table1,
     "fig": _cmd_fig,
     "steps": _cmd_steps,

@@ -45,7 +45,7 @@ from ..broadcast.messages import (
 from ..config import ProtocolConfig, SystemConfig
 from ..crypto.backend import CryptoBackend, make_backend
 from ..crypto.coin import GlobalPerfectCoin, make_coin
-from ..crypto.hashing import Digest
+from ..crypto.hashing import Digest, short_hex
 from ..crypto.keys import KeyChain
 from ..dag.block import Block, EMPTY_BATCH, TxBatch, make_block
 from ..dag.ledger import CommitRecord, Ledger
@@ -55,6 +55,7 @@ from ..dag.traversal import is_ancestor, uncommitted_ancestors
 from ..dag.validation import validate_block_structure
 from ..errors import InvalidBlockError, UnknownBlockError
 from ..net.interfaces import Message, NetworkAPI, Node
+from ..obs import NULL_OBS, Observability
 from .retrieval import RETRY_TAG, RetrievalManager
 
 #: Signature of the payload hook: ``payload_source(now) -> TxBatch``.
@@ -108,12 +109,28 @@ class BaseDagNode(Node):
         payload_source: Optional[PayloadSource] = None,
         on_commit: Optional[CommitCallback] = None,
         on_deliver: Optional[Callable[[Block, float], None]] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         super().__init__(net)
         #: optional observation hook fired on every delivery (tracing)
         self.on_deliver_hook = on_deliver
         self.system = system
         self.protocol = protocol
+        self.obs = obs if obs is not None else NULL_OBS
+        #: pre-bound journal emit for hot paths (None when disabled), so
+        #: per-delivery sites pay one attribute read + branch, not three.
+        self._obs_emit = self.obs.journal.emit if self.obs.enabled else None
+        metrics = self.obs.metrics
+        self._ctr_rounds = metrics.counter("core.rounds_advanced")
+        self._ctr_delivered = metrics.counter("core.blocks_delivered")
+        self._ctr_committed = metrics.counter("core.blocks_committed")
+        self._ctr_coin_reveals = metrics.counter("core.coin_reveals")
+        self._ctr_coin_requests = metrics.counter("core.coin_share_requests")
+        self._ctr_stall_rebroadcasts = metrics.counter("core.stall_rebroadcasts")
+        self._ctr_commit_kind = {
+            "direct": metrics.counter("core.wave_commits", kind="direct"),
+            "cascade": metrics.counter("core.wave_commits", kind="cascade"),
+        }
         self.wave = WaveStructure(self.WAVE_LENGTH, overlap=self.WAVE_OVERLAP)
         self.backend: CryptoBackend = make_backend(
             system.crypto, net.node_id, system, keychain
@@ -122,7 +139,11 @@ class BaseDagNode(Node):
         self.store = DagStore(system.n, strict=self.STRICT_STORE)
         self.ledger = Ledger()
         self.retrieval = RetrievalManager(
-            net, self.store, seed=system.seed, enabled=protocol.retrieval_enabled
+            net,
+            self.store,
+            seed=system.seed,
+            enabled=protocol.retrieval_enabled,
+            obs=self.obs,
         )
         self.payload_source = payload_source or (lambda now: EMPTY_BATCH)
         self.on_commit = on_commit
@@ -337,6 +358,13 @@ class BaseDagNode(Node):
         if not self.store.add(block):
             return
         self._last_delivery = self.net.now()
+        self._ctr_delivered.inc()
+        if self._obs_emit is not None:
+            self._obs_emit(
+                self._last_delivery, "block.deliver", self.node_id,
+                round=block.round, author=block.author,
+                digest=short_hex(block.digest),
+            )
         if self.on_deliver_hook is not None:
             self.on_deliver_hook(block, self._last_delivery)
         if self.protocol.weak_links and block.digest not in self._covered:
@@ -386,6 +414,13 @@ class BaseDagNode(Node):
         payload = self.payload_source(self.net.now())
         block = self._build_block(round_, parents, payload)
         self._my_latest_block = block
+        self._ctr_rounds.inc()
+        if self._obs_emit is not None:
+            self._obs_emit(
+                self.net.now(), "block.propose", self.node_id,
+                round=round_, author=self.node_id,
+                digest=short_hex(block.digest), txs=payload.count,
+            )
         self._broadcast_block(block)
         self._broadcast_coin_shares(round_)
 
@@ -436,6 +471,12 @@ class BaseDagNode(Node):
         leader = self.coin.add_share(msg.share)
         if leader is not None:
             self.revealed_leaders[msg.wave] = leader
+            self._ctr_coin_reveals.inc()
+            if self._obs_emit is not None:
+                self._obs_emit(
+                    self.net.now(), "coin.reveal", self.node_id,
+                    wave=msg.wave, leader=leader,
+                )
             self._on_leader_revealed(msg.wave, leader)
 
     def _coin_sync_check(self) -> None:
@@ -455,6 +496,11 @@ class BaseDagNode(Node):
                 last = self._coin_requested.get(wave_num, -1e9)
                 if now - last >= 2 * COIN_SYNC_PERIOD:
                     self._coin_requested[wave_num] = now
+                    self._ctr_coin_requests.inc()
+                    if self._obs_emit is not None:
+                        self._obs_emit(
+                            now, "coin.recover_request", self.node_id, wave=wave_num
+                        )
                     self.net.broadcast(
                         CoinShareRequest(wave_num), include_self=False
                     )
@@ -469,6 +515,12 @@ class BaseDagNode(Node):
             self._my_latest_block is not None
             and now - self._last_delivery > 2 * COIN_SYNC_PERIOD
         ):
+            self._ctr_stall_rebroadcasts.inc()
+            if self._obs_emit is not None:
+                self._obs_emit(
+                    now, "stall.rebroadcast", self.node_id,
+                    round=self._my_latest_block.round,
+                )
             self._broadcast_block(self._my_latest_block)
 
     def _on_leader_revealed(self, wave_num: int, leader: int) -> None:
@@ -552,8 +604,8 @@ class BaseDagNode(Node):
         for w in range(u + 1, v):
             candidate = self._cascade_candidate(w, leader_v)
             if candidate is not None:
-                self._commit_leader(candidate, w)
-        self._commit_leader(leader_v, v)
+                self._commit_leader(candidate, w, kind="cascade")
+        self._commit_leader(leader_v, v, kind="direct")
         self.last_settled_wave = max(self.last_settled_wave, v)
         self._maybe_prune()
 
@@ -565,16 +617,32 @@ class BaseDagNode(Node):
             return candidate
         return None
 
-    def _commit_leader(self, leader: Block, wave_num: int) -> None:
+    def _commit_leader(self, leader: Block, wave_num: int, kind: str = "direct") -> None:
         if wave_num in self.committed_leader_waves:
             return
         self.committed_leader_waves.add(wave_num)
         k = self.ledger.begin_leader()
         now = self.net.now()
+        journal = self.obs.journal if self.obs.enabled else None
+        committed = 0
         for block in self._commit_scope(leader):
             record = self.ledger.append(block, now, leader.digest, k)
+            committed += 1
+            if journal is not None:
+                journal.emit(
+                    now, "block.commit", self.node_id,
+                    round=block.round, author=block.author,
+                    digest=short_hex(block.digest), wave=wave_num,
+                )
             if self.on_commit is not None:
                 self.on_commit(record)
+        self._ctr_commit_kind[kind].inc()
+        self._ctr_committed.inc(committed)
+        if journal is not None:
+            journal.emit(
+                now, "wave.commit", self.node_id,
+                wave=wave_num, kind=kind, leader=leader.author, blocks=committed,
+            )
 
     def _commit_scope(self, leader: Block) -> List[Block]:
         """The blocks this leader commits: uncommitted ancestors, bounded

@@ -39,7 +39,9 @@ class LightDag1Node(BaseDagNode):
     STRICT_STORE = True
 
     def _make_managers(self) -> None:
-        self.cbc = CbcManager(self.net, self.system.quorum, self._on_deliver)
+        self.cbc = CbcManager(
+            self.net, self.system.quorum, self._on_deliver, obs=self.obs
+        )
 
     def _manager_for_round(self, round_: int) -> CbcManager:
         return self.cbc

@@ -103,8 +103,10 @@ class LightDag2Node(BaseDagNode):
         return (round_ - 1) // 3 + 1
 
     def _make_managers(self) -> None:
-        self.pbc = PbcManager(self.net, self._on_deliver)
-        self.cbc = CbcManager(self.net, self.system.quorum, self._on_deliver)
+        self.pbc = PbcManager(self.net, self._on_deliver, obs=self.obs)
+        self.cbc = CbcManager(
+            self.net, self.system.quorum, self._on_deliver, obs=self.obs
+        )
 
     def _manager_for_round(self, round_: int):
         return self.cbc if self.round_kind(round_) == self.CBC_E else self.pbc

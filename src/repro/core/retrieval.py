@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..crypto.hashing import Digest
 from ..dag.block import Block
 from ..dag.store import DagStore
 from ..net.interfaces import NetworkAPI
+from ..obs import NULL_OBS, Observability
 from ..broadcast.messages import RetrievalRequest, RetrievalResponse
 
 #: Timer tag used for retrieval retries (owned by the node's timer space).
@@ -58,11 +59,18 @@ class RetrievalManager:
         seed: int = 0,
         retry_delay: float = DEFAULT_RETRY_DELAY,
         enabled: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.net = net
         self.store = store
         self.retry_delay = retry_delay
         self.enabled = enabled
+        self.obs = obs if obs is not None else NULL_OBS
+        metrics = self.obs.metrics
+        self._ctr_requests = metrics.counter("retrieval.requests")
+        self._ctr_retries = metrics.counter("retrieval.retries")
+        self._ctr_responses = metrics.counter("retrieval.responses")
+        self._ctr_served = metrics.counter("retrieval.blocks_served")
         self.rng = random.Random(f"retrieval:{net.node_id}:{seed}")
         #: blocks waiting for parents, keyed by their digest
         self._pending: Dict[Digest, _Pending] = {}
@@ -100,7 +108,7 @@ class RetrievalManager:
     def pending_count(self) -> int:
         return len(self._pending)
 
-    def _request(self, digests: List[Digest], dst: int) -> None:
+    def _request(self, digests: List[Digest], dst: int, retry: bool = False) -> None:
         if not self.enabled:
             return
         to_ask = [d for d in digests if d not in self._inflight and d not in self.store]
@@ -110,6 +118,14 @@ class RetrievalManager:
             self._inflight[d] = dst
             self._requested.add(d)
         self.requests_sent += 1
+        self._ctr_requests.inc()
+        if retry:
+            self._ctr_retries.inc()
+        if self.obs.enabled:
+            self.obs.journal.emit(
+                self.net.now(), "retrieval.request", self.net.node_id,
+                dst=dst, blocks=len(to_ask), retry=retry,
+            )
         self.net.send(dst, RetrievalRequest(digests=tuple(to_ask)))
         for d in to_ask:
             self.net.set_timer(self.retry_delay, RETRY_TAG, d)
@@ -124,6 +140,8 @@ class RetrievalManager:
         if blocks:
             self.responses_sent += 1
             self.blocks_served += len(blocks)
+            self._ctr_responses.inc()
+            self._ctr_served.inc(len(blocks))
             self.net.send(src, RetrievalResponse(blocks=blocks))
 
     # -- requester side -----------------------------------------------------------
@@ -162,7 +180,7 @@ class RetrievalManager:
             ]
         if not pool:
             pool = [previous]
-        self._request([digest], self.rng.choice(pool))
+        self._request([digest], self.rng.choice(pool), retry=True)
 
     # -- progress on deliveries ------------------------------------------------
 

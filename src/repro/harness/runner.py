@@ -41,6 +41,7 @@ from ..dag.ledger import check_prefix_consistency
 from ..errors import ConfigError
 from ..net.latency import make_latency_model
 from ..net.simulator import CpuCost, Simulation
+from ..obs import NULL_OBS, Observability
 from ..workload.metrics import MetricsCollector
 from ..workload.txgen import Mempool
 
@@ -80,10 +81,12 @@ class ExperimentResult:
     messages_sent: int
     bytes_sent: int
     extras: Dict[str, float] = field(default_factory=dict)
+    #: attached when the run was instrumented (``run_experiment(cfg, obs=...)``)
+    obs: Optional[Observability] = None
 
     def row(self) -> Dict[str, object]:
         """Flat dict for tabular reports."""
-        return {
+        row: Dict[str, object] = {
             "protocol": self.config.protocol_name,
             "n": self.config.system.n,
             "batch": self.config.protocol.batch_size,
@@ -93,6 +96,9 @@ class ExperimentResult:
             "p95_s": round(self.p95_latency, 4),
             "rounds": self.rounds_reached,
         }
+        if self.obs is not None:
+            row.update({k: int(v) for k, v in self.obs.summary().items()})
+        return row
 
 
 def build_adversary(
@@ -130,8 +136,16 @@ def build_adversary(
     raise ConfigError(f"unknown adversary {name!r}")
 
 
-def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment to completion and collect its measurements."""
+def run_experiment(
+    cfg: ExperimentConfig, obs: Optional[Observability] = None
+) -> ExperimentResult:
+    """Run one experiment to completion and collect its measurements.
+
+    Pass an :class:`~repro.obs.Observability` to instrument the run: the
+    registry and journal are threaded through the simulator, every node,
+    and all broadcast/retrieval managers, and come back attached to the
+    result (``result.obs``) for export via :mod:`repro.analysis.obs_export`.
+    """
     system = cfg.system
     node_cls = PROTOCOL_REGISTRY.get(cfg.protocol_name)
     if node_cls is None:
@@ -143,6 +157,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         system, coin_threshold=cfg.protocol.resolve_coin_threshold(system)
     )
     chains = dealer.deal()
+    obs = obs if obs is not None else NULL_OBS
     collector = MetricsCollector(warmup=cfg.warmup, measure_until=cfg.duration)
     adversary, byz_overrides = build_adversary(cfg)
 
@@ -159,6 +174,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
                 keychain=chains[i],
                 payload_source=mempools[i].take,
                 on_commit=collector.callback_for(i),
+                obs=obs,
             )
             if i in byz_overrides:
                 return byz_overrides[i](net, **kwargs)
@@ -180,6 +196,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         adversary=adversary,
         cpu=cpu,
         seed=cfg.seed,
+        obs=obs,
     )
     sim.run(until=cfg.duration)
 
@@ -209,4 +226,5 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         messages_sent=sim.stats.messages_sent,
         bytes_sent=sim.stats.bytes_sent,
         extras=extras,
+        obs=obs if obs.enabled else None,
     )

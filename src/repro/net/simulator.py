@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from ..errors import SimulationError
+from ..obs import NULL_OBS, Observability
 from .interfaces import Message, NetworkAPI, Node, NodeFactory
 from .latency import FixedLatency, LatencyModel
 
@@ -101,7 +102,43 @@ class _SimNetworkAPI(NetworkAPI):
         return self._sim.now
 
     def send(self, dst: int, msg: Message) -> None:
-        self._sim._enqueue_send(self._node_id, dst, msg)
+        sim = self._sim
+        src = self._node_id
+        if sim._obs_on and dst != src and src not in sim._crashed:
+            size = msg.wire_size()
+            counts = sim._obs_msg_counts.get(msg.__class__)
+            if counts is None:
+                counts = sim._obs_counts(msg.__class__)
+            counts[0] += 1
+            counts[1] += size
+            sim._enqueue_send(src, dst, msg, size)
+        else:
+            sim._enqueue_send(src, dst, msg)
+
+    def broadcast(self, msg: Message, include_self: bool = True) -> None:
+        """Fan-out with one obs staging op and one wire_size for the batch.
+
+        Everything in these protocols is a broadcast, so counting the
+        n-1 wire copies here (instead of once per copy in
+        ``_enqueue_send``) removes most of the per-message staging from
+        the engine hot loop.  Self-delivery is never a wire copy, hence
+        ``n - 1`` regardless of ``include_self`` — matching
+        ``SimulationStats``, which only records non-self sends.
+        """
+        sim = self._sim
+        src = self._node_id
+        n = len(sim.nodes)
+        size = msg.wire_size()
+        if sim._obs_on and n > 1 and src not in sim._crashed:
+            counts = sim._obs_msg_counts.get(msg.__class__)
+            if counts is None:
+                counts = sim._obs_counts(msg.__class__)
+            counts[0] += n - 1
+            counts[1] += (n - 1) * size
+        enqueue = sim._enqueue_send
+        for dst in range(n):
+            if include_self or dst != src:
+                enqueue(src, dst, msg, size)
 
     def set_timer(self, delay: float, tag: str, data: Any = None) -> None:
         self._sim._enqueue_timer(self._node_id, delay, tag, data)
@@ -126,6 +163,13 @@ class Simulation:
         Optional message-schedule adversary (see :mod:`repro.adversary`).
     seed:
         Seed for all latency jitter and adversary randomness.
+    obs:
+        Optional :class:`~repro.obs.Observability`.  When given, the
+        simulator records per-message-type send/deliver/drop counts and
+        bytes, egress-NIC and CPU-queue wait histograms, and attributes
+        adversary interference (delay/drop) in both the registry and the
+        journal.  Defaults to the shared no-op instance, which costs the
+        hot loop a single branch.
     """
 
     def __init__(
@@ -136,6 +180,7 @@ class Simulation:
         adversary: Optional["AdversaryProtocol"] = None,
         cpu: CpuCost | None = None,
         seed: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self.latency = latency_model or FixedLatency()
         self.bandwidth_bps = bandwidth_bps
@@ -144,6 +189,29 @@ class Simulation:
         self.rng = random.Random(f"sim:{seed}")
         self.now = 0.0
         self.stats = SimulationStats()
+        self.obs = obs if obs is not None else NULL_OBS
+        self._obs_on = self.obs.enabled
+        #: message-type name -> (sent, bytes, delivered, dropped) counters;
+        #: resolved once per type so the hot loop never re-hashes labels.
+        self._obs_msg: dict = {}
+        #: hot-loop staging as plain ints, keyed by message *class*
+        #: (pointer hash beats string hash): [sent, bytes, suppressed,
+        #: dropped].  Delivered is *derived* at flush by conservation —
+        #: see ``_obs_flush`` — so the per-delivery path stays clean.
+        self._obs_msg_counts: dict = {}
+        #: per-class queue backlog at the previous flush (the conservation
+        #: checkpoint, so repeated ``run()`` calls stay exact).
+        self._obs_inflight_prev: dict = {}
+        #: raw queue-wait samples, bulk-folded into the histograms at flush
+        #: (list.append is ~4x cheaper than a per-event observe); the
+        #: common NIC-idle case (wait 0) stays a plain int.
+        self._obs_egress_waits: list = []
+        self._obs_egress_zero = 0
+        self._obs_cpu_waits: list = []
+        metrics = self.obs.metrics
+        self._h_egress_wait = metrics.histogram("net.egress_wait_seconds")
+        self._h_cpu_wait = metrics.histogram("net.cpu_queue_wait_seconds")
+        self._h_adv_delay = metrics.histogram("net.adversary_delay_seconds")
         self._queue: list = []
         self._seq = itertools.count()
         self._egress_free = [0.0] * len(factories)
@@ -158,7 +226,72 @@ class Simulation:
 
     # -- event scheduling ----------------------------------------------------
 
-    def _enqueue_send(self, src: int, dst: int, msg: Message) -> None:
+    def _obs_msg_counters(self, tname: str) -> tuple:
+        """(sent, bytes, delivered, dropped) counters for one message type."""
+        counters = self._obs_msg.get(tname)
+        if counters is None:
+            metrics = self.obs.metrics
+            counters = self._obs_msg[tname] = (
+                metrics.counter("net.messages_sent", type=tname),
+                metrics.counter("net.bytes_sent", type=tname),
+                metrics.counter("net.messages_delivered", type=tname),
+                metrics.counter("net.messages_dropped", type=tname),
+            )
+        return counters
+
+    def _obs_counts(self, msg_cls: type) -> list:
+        """The staged [sent, bytes, suppressed, dropped] ints for one type."""
+        counts = self._obs_msg_counts.get(msg_cls)
+        if counts is None:
+            counts = self._obs_msg_counts[msg_cls] = [0, 0, 0, 0]
+        return counts
+
+    def _obs_flush(self) -> None:
+        """Fold staged per-type counts and wait samples into the registry
+        (idempotent — staging is zeroed / checkpointed as it drains).
+
+        Delivered counts are *derived*, not staged: every non-self wire
+        copy was either dropped by the adversary, suppressed at a crashed
+        receiver, is still sitting in the event queue, or reached a node.
+        Counting the first three (all cold paths) plus one queue scan per
+        flush keeps the per-delivery hot path free of bookkeeping.
+        """
+        inflight: dict = {}
+        for _when, _seq, kind, payload in self._queue:
+            if kind == _DELIVER or kind == _PROCESS:
+                src, dst, msg = payload
+                if src != dst:
+                    cls = msg.__class__
+                    inflight[cls] = inflight.get(cls, 0) + 1
+        for msg_cls in {*self._obs_msg_counts, *inflight, *self._obs_inflight_prev}:
+            counts = self._obs_counts(msg_cls)
+            backlog = inflight.get(msg_cls, 0)
+            delivered = (
+                counts[0] - counts[2] - counts[3]
+                - backlog + self._obs_inflight_prev.get(msg_cls, 0)
+            )
+            sent_c, bytes_c, delivered_c, dropped_c = self._obs_msg_counters(
+                msg_cls.__name__
+            )
+            if counts[0]:
+                sent_c.inc(counts[0])
+            if counts[1]:
+                bytes_c.inc(counts[1])
+            if delivered:
+                delivered_c.inc(delivered)
+            if counts[3]:
+                dropped_c.inc(counts[3])
+            counts[0] = counts[1] = counts[2] = counts[3] = 0
+            self._obs_inflight_prev[msg_cls] = backlog
+        self._h_egress_wait.observe_bulk(self._obs_egress_waits)
+        self._obs_egress_waits.clear()
+        if self._obs_egress_zero:
+            self._h_egress_wait.observe_zeros(self._obs_egress_zero)
+            self._obs_egress_zero = 0
+        self._h_cpu_wait.observe_bulk(self._obs_cpu_waits)
+        self._obs_cpu_waits.clear()
+
+    def _enqueue_send(self, src: int, dst: int, msg: Message, size: int = -1) -> None:
         if src in self._crashed:
             return
         if dst == src:
@@ -168,15 +301,29 @@ class Simulation:
                 self._queue, (self.now, next(self._seq), _DELIVER, (src, dst, msg))
             )
             return
-        size = msg.wire_size()
+        if size < 0:
+            size = msg.wire_size()
         self.stats.record_send(src, size)
-
+        # per-type sent/bytes staging lives in _SimNetworkAPI.send/broadcast
+        # (one op per fan-out, not per copy); drops stay here.
         if self.adversary is not None:
             verdict = self.adversary.on_send(src, dst, msg, self.now)
             if verdict is None:
                 self.stats.messages_dropped += 1
+                if self._obs_on:
+                    self._obs_counts(msg.__class__)[3] += 1
+                    self.obs.journal.emit(
+                        self.now, "adversary.drop", src,
+                        dst=dst, msg=type(msg).__name__,
+                    )
                 return
             extra_delay = verdict
+            if extra_delay > 0.0 and self._obs_on:
+                self._h_adv_delay.observe(extra_delay)
+                self.obs.journal.emit(
+                    self.now, "adversary.delay", src,
+                    dst=dst, msg=type(msg).__name__, delay_s=extra_delay,
+                )
         else:
             extra_delay = 0.0
 
@@ -184,6 +331,11 @@ class Simulation:
             start = max(self.now, self._egress_free[src])
             finish = start + size * 8.0 / self.bandwidth_bps
             self._egress_free[src] = finish
+            if self._obs_on:
+                if start > self.now:
+                    self._obs_egress_waits.append(start - self.now)
+                else:
+                    self._obs_egress_zero += 1
         else:
             finish = self.now
         arrival = finish + self.latency.delay(src, dst, self.rng) + extra_delay
@@ -261,12 +413,16 @@ class Simulation:
             if stop_when is not None and stop_when(self):
                 break
         self.stats.final_time = self.now
+        if self._obs_on:
+            self._obs_flush()
         return self.stats
 
     def _dispatch(self, kind: int, payload: tuple) -> None:
         if kind == _DELIVER:
             src, dst, msg = payload
             if dst in self._crashed:
+                if self._obs_on and src != dst:
+                    self._obs_counts(msg.__class__)[2] += 1
                 return
             if self.cpu is not None and src != dst:
                 cost = self.cpu.cost(msg.wire_size())
@@ -276,6 +432,8 @@ class Simulation:
                     self._cpu_free[dst] = self.now + cost
                 else:
                     # CPU busy: requeue behind the backlog.
+                    if self._obs_on:
+                        self._obs_cpu_waits.append(self._cpu_free[dst] - self.now)
                     ready = self._cpu_free[dst] + cost
                     self._cpu_free[dst] = ready
                     heapq.heappush(
@@ -288,6 +446,8 @@ class Simulation:
         elif kind == _PROCESS:
             src, dst, msg = payload
             if dst in self._crashed:
+                if self._obs_on and src != dst:
+                    self._obs_counts(msg.__class__)[2] += 1
                 return
             self.stats.messages_delivered += 1
             self.nodes[dst].on_message(src, msg)

@@ -1,0 +1,65 @@
+"""Structured event journal: append-only, sim-time-stamped records.
+
+Where the registry answers "how many / how long", the journal answers
+"what happened, in order": one :class:`Event` per protocol-level
+occurrence (block proposed, delivered, committed; coin revealed; wave
+committed; retrieval issued; adversary interference), each carrying the
+simulated timestamp, the acting replica, an event type, and a small
+payload dict.
+
+The journal is the source every exporter reads — JSONL dumps for ad-hoc
+grepping, Chrome ``trace_event`` JSON for Perfetto timelines (see
+:mod:`repro.analysis.obs_export`).  Because the simulator is
+deterministic, the journal is too: same seed → identical event sequence,
+which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple
+
+
+class Event(NamedTuple):
+    """One journal record."""
+
+    t: float  #: simulated seconds
+    node: int  #: acting replica (-1 = the network/simulator itself)
+    type: str  #: dotted event type, e.g. ``"block.deliver"``
+    data: Dict[str, object]  #: small, JSON-able payload
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"t": self.t, "node": self.node, "type": self.type, **self.data}
+
+
+class EventJournal:
+    """Append-only event log for one run."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def emit(self, t: float, type_: str, node: int = -1, **data: object) -> None:
+        self.events.append(Event(t, node, type_, data))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def counts_by_type(self) -> Dict[str, int]:
+        """Event-type histogram (for summaries and sanity tests)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.type] = counts.get(event.type, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class NullJournal(EventJournal):
+    """Do-nothing journal (the off-by-default path)."""
+
+    enabled = False
+
+    def emit(self, t: float, type_: str, node: int = -1, **data: object) -> None:
+        pass

@@ -26,20 +26,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..analysis.stats import percentile  # noqa: F401 — canonical home; re-exported
 from ..dag.ledger import CommitRecord
-
-
-def percentile(sorted_values: List[float], q: float) -> float:
-    """Linear-interpolation percentile of pre-sorted data (q in [0, 1])."""
-    if not sorted_values:
-        return math.nan
-    if len(sorted_values) == 1:
-        return sorted_values[0]
-    pos = q * (len(sorted_values) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(sorted_values) - 1)
-    frac = pos - lo
-    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
 
 
 @dataclass

@@ -33,6 +33,29 @@ class TestAggregate:
         assert agg.stdev == pytest.approx(1.0)
         assert agg.ci95_half_width == pytest.approx(1.96 / 3**0.5)
 
+    def test_empty_is_nan_not_crash(self):
+        import math
+
+        agg = Aggregate.of([])
+        assert math.isnan(agg.mean)
+        assert math.isnan(agg.stdev)
+        assert math.isnan(agg.ci95_half_width)
+        assert agg.samples == ()
+        assert math.isnan(agg.quantile(0.5))
+
+    def test_quantile_and_percentile_properties(self):
+        agg = Aggregate.of([3.0, 1.0, 2.0])
+        assert agg.quantile(0.5) == 2.0
+        assert agg.p50 == 2.0
+        assert agg.p95 == pytest.approx(2.9)
+
+    def test_percentile_reexported_from_workload(self):
+        # Back-compat: the old import site must keep working.
+        from repro.analysis.stats import percentile
+        from repro.workload.metrics import percentile as reexported
+
+        assert reexported is percentile
+
 
 class TestRepeatExperiment:
     def test_aggregates_over_seeds(self):

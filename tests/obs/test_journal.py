@@ -1,0 +1,64 @@
+"""Tests for repro.obs.journal and the Observability bundle."""
+
+from repro.obs import (
+    NULL_OBS,
+    Event,
+    EventJournal,
+    MetricsRegistry,
+    NullJournal,
+    NullRegistry,
+    Observability,
+)
+
+
+class TestEventJournal:
+    def test_emit_appends_in_order(self):
+        journal = EventJournal()
+        journal.emit(0.5, "block.propose", node=1, round=1)
+        journal.emit(0.7, "block.deliver", node=2, round=1)
+        assert len(journal) == 2
+        assert [e.type for e in journal] == ["block.propose", "block.deliver"]
+        assert journal.events[0] == Event(0.5, 1, "block.propose", {"round": 1})
+
+    def test_default_node_is_network(self):
+        journal = EventJournal()
+        journal.emit(0.0, "adversary.drop")
+        assert journal.events[0].node == -1
+
+    def test_as_dict_flattens_payload(self):
+        journal = EventJournal()
+        journal.emit(1.0, "wave.commit", node=0, wave=3, kind="direct")
+        assert journal.events[0].as_dict() == {
+            "t": 1.0, "node": 0, "type": "wave.commit",
+            "wave": 3, "kind": "direct",
+        }
+
+    def test_counts_by_type_sorted(self):
+        journal = EventJournal()
+        for type_ in ("b", "a", "b"):
+            journal.emit(0.0, type_)
+        assert list(journal.counts_by_type().items()) == [("a", 1), ("b", 2)]
+
+    def test_null_journal_inert(self):
+        journal = NullJournal()
+        journal.emit(0.0, "anything", node=3, x=1)
+        assert len(journal) == 0 and journal.enabled is False
+
+
+class TestObservability:
+    def test_enabled_follows_components(self):
+        assert Observability(MetricsRegistry(), EventJournal()).enabled
+        assert Observability(MetricsRegistry(), NullJournal()).enabled
+        assert Observability(NullRegistry(), EventJournal()).enabled
+        assert not Observability(NullRegistry(), NullJournal()).enabled
+
+    def test_null_singleton_disabled(self):
+        assert NULL_OBS.enabled is False
+
+    def test_summary_keys(self):
+        obs = Observability(MetricsRegistry(), EventJournal())
+        obs.metrics.counter("net.messages_sent", type="BlockVal").inc(3)
+        obs.journal.emit(0.0, "block.propose", node=0)
+        summary = obs.summary()
+        assert summary["journal_events"] == 1
+        assert summary["msgs_sent"] == 3

@@ -53,6 +53,35 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "tps_mean" in out and "tps_ci95" in out
 
+    def test_run_obs_exports(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        prom = tmp_path / "m.prom"
+        journal = tmp_path / "j.jsonl"
+        assert main(["run", "--protocol", "lightdag1", "-n", "4",
+                     "--batch", "20", "--duration", "3",
+                     "--trace", str(trace), "--metrics", str(prom),
+                     "--journal", str(journal)]) == 0
+        parsed = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" for e in parsed["traceEvents"])
+        assert "# TYPE repro_net_messages_sent counter" in prom.read_text()
+        first = json.loads(journal.read_text().splitlines()[0])
+        assert first["type"] == "block.propose"
+
+    def test_run_obs_ignored_with_repeats(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["run", "-n", "4", "--batch", "20", "--duration", "3",
+                     "--repeats", "2", "--trace", str(trace)]) == 0
+        assert not trace.exists()
+        assert "ignoring" in capsys.readouterr().err
+
+    def test_report(self, capsys):
+        assert main(["report", "--protocol", "lightdag2", "-n", "4",
+                     "--batch", "20", "--duration", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "broadcast.steps" in out
+        assert "wave.commit" in out
+        assert "journal events" in out
+
     def test_steps(self, capsys):
         assert main(["steps", "--protocol", "lightdag2"]) == 0
         assert "best=4" in capsys.readouterr().out

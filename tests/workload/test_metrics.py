@@ -125,3 +125,44 @@ class TestCollector:
         collector.callback_for(0)(record(1, 0, 1.0, count=50))
         collector.callback_for(1)  # registered but commits nothing
         assert collector.min_node_committed_txs() == 0
+
+    def test_idle_registered_node_drags_throughput_mean(self):
+        """A crashed/stalled replica must pull the mean TPS down, not
+        silently drop out of the denominator."""
+        collector = MetricsCollector()
+        collector.callback_for(0)(record(1, 0, 1.0, count=100))
+        collector.callback_for(1)  # registered, never commits
+        assert collector.throughput(10.0) == pytest.approx(5.0)
+
+    def test_no_nodes_throughput_zero(self):
+        assert MetricsCollector().throughput(10.0) == 0.0
+
+    def test_measure_until_straddling_reproposal(self):
+        """A commit past the cutoff is ignored entirely — it must not mark
+        the slot and shadow an earlier in-window commit... but commits are
+        time-ordered, so the real hazard is the reverse: the in-window
+        original counts, the post-cutoff reproposal does not."""
+        collector = MetricsCollector(warmup=0.0, measure_until=10.0)
+        cb = collector.callback_for(0)
+        cb(record(2, 0, commit_time=9.0, j=0))
+        cb(record(2, 0, commit_time=11.0, j=1))
+        assert collector.total_committed_txs() == 10
+
+    def test_callback_for_same_node_accumulates(self):
+        collector = MetricsCollector()
+        collector.callback_for(0)(record(1, 0, 1.0))
+        collector.callback_for(0)(record(2, 0, 2.0))
+        assert len(collector.nodes) == 1
+        assert collector.nodes[0].committed_blocks == 2
+
+    def test_latency_quantile_empty_nan(self):
+        assert math.isnan(MetricsCollector().latency_quantile(0.5))
+
+    def test_first_last_commit_times(self):
+        collector = MetricsCollector(warmup=1.0)
+        cb = collector.callback_for(0)
+        cb(record(1, 0, commit_time=0.5))   # warmup — not recorded
+        cb(record(2, 0, commit_time=2.0))
+        cb(record(3, 0, commit_time=4.0))
+        assert collector.nodes[0].first_commit_time == 2.0
+        assert collector.nodes[0].last_commit_time == 4.0
