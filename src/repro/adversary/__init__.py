@@ -15,6 +15,10 @@ attack per protocol, and this package implements each:
   :class:`~repro.adversary.byzantine.EquivocatingLightDag2Node`.
 * **Random scheduling** — a generic delay/reorder adversary for property
   tests: :class:`~repro.adversary.scheduler.RandomSchedulingAdversary`.
+* **Retrieval withholding** (vs. the §IV-A recovery path) — replicas that
+  broadcast and vote honestly but ignore (or garbage-answer) retrieval
+  requests, forcing requesters through the full backoff/fan-out
+  escalation: :class:`~repro.adversary.withhold.WithholdingResponder`.
 
 Message-level adversaries plug into the simulator's ``on_send`` hook;
 behavioural (Byzantine) adversaries are alternative Node classes installed
@@ -26,6 +30,7 @@ from .byzantine import EquivocatingLightDag2Node
 from .crash import CrashAdversary
 from .delay import BullsharkLeaderDelayAdversary, TargetedDelayAdversary
 from .scheduler import RandomSchedulingAdversary
+from .withhold import WithholdingResponder, withholding_node_class
 
 __all__ = [
     "Adversary",
@@ -35,4 +40,6 @@ __all__ = [
     "PassiveAdversary",
     "RandomSchedulingAdversary",
     "TargetedDelayAdversary",
+    "WithholdingResponder",
+    "withholding_node_class",
 ]

@@ -69,9 +69,20 @@ class BlockReady(Message):
         )
 
 
+#: Hard bound on digests a responder will honor per RetrievalRequest.
+#: Requests beyond it are clamped (and counted) at the responder, and the
+#: wire codec refuses to decode messages claiming more — a Byzantine peer
+#: cannot make an honest replica enumerate an unbounded digest list.
+MAX_REQUEST_DIGESTS = 128
+
+
 @dataclass(frozen=True)
 class RetrievalRequest(Message):
-    """§IV-A block retrieval: ask a peer for missing block bodies."""
+    """§IV-A block retrieval: ask a peer for missing block bodies.
+
+    Honest senders keep ``digests`` small (one incomplete block's missing
+    parents); responders clamp anything above :data:`MAX_REQUEST_DIGESTS`.
+    """
 
     digests: Tuple[Digest, ...]
 
@@ -81,7 +92,15 @@ class RetrievalRequest(Message):
 
 @dataclass(frozen=True)
 class RetrievalResponse(Message):
-    """§IV-A block retrieval: the peer ships every requested block it has."""
+    """§IV-A block retrieval: the peer ships requested blocks it has.
+
+    Responders chunk large answers — no single response carries more than
+    ``max_response_blocks`` bodies (``SystemConfig.max_response_blocks``),
+    bounding the burst a response injects into the bandwidth model and
+    what a Byzantine "helper" can shove at a requester in one message.
+    Requesters only accept bodies whose *recomputed* digest matches an
+    open request (digest pinning; see ``RetrievalManager.on_response``).
+    """
 
     blocks: Tuple[Block, ...]
 

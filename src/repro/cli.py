@@ -43,6 +43,25 @@ from .harness.steps import measure_commit_steps, table1_rows
 from .obs import EventJournal, MetricsRegistry, Observability
 
 
+ADVERSARY_CHOICES = [
+    "none", "crash", "leader-delay", "equivocate", "random-sched",
+    "withhold", "withhold-garbage", "worst",
+]
+
+
+def _add_retrieval_args(parser: argparse.ArgumentParser) -> None:
+    """§IV-A retrieval-hardening knobs (see SystemConfig)."""
+    parser.add_argument("--retry-base", type=float, default=0.5,
+                        help="base retrieval retry delay in seconds "
+                             "(backoff doubles from here)")
+    parser.add_argument("--retry-cap", type=int, default=8,
+                        help="retries per missing block before abandoning")
+    parser.add_argument("--fanout-after", type=int, default=3,
+                        help="single-target retries before f+1 fan-out")
+    parser.add_argument("--max-response-blocks", type=int, default=16,
+                        help="blocks per RetrievalResponse (chunking cap)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The complete argparse tree (exposed for shell-completion tooling)."""
     parser = argparse.ArgumentParser(
@@ -56,14 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(PROTOCOL_REGISTRY))
     run_p.add_argument("-n", "--replicas", type=int, default=7)
     run_p.add_argument("--batch", type=int, default=400)
-    run_p.add_argument("--adversary", default="none",
-                       choices=["none", "crash", "leader-delay", "equivocate",
-                                "random-sched", "worst"])
+    run_p.add_argument("--adversary", default="none", choices=ADVERSARY_CHOICES)
     run_p.add_argument("--duration", type=float, default=10.0)
     run_p.add_argument("--warmup", type=float, default=2.0)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--crypto", default="hmac",
                        choices=["schnorr", "hmac", "null"])
+    _add_retrieval_args(run_p)
     run_p.add_argument("--repeats", type=int, default=1,
                        help="seeds to average over (§VI-A uses 5)")
     run_p.add_argument("--json", metavar="PATH", help="write results JSON")
@@ -82,14 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(PROTOCOL_REGISTRY))
     report_p.add_argument("-n", "--replicas", type=int, default=7)
     report_p.add_argument("--batch", type=int, default=400)
-    report_p.add_argument("--adversary", default="none",
-                          choices=["none", "crash", "leader-delay", "equivocate",
-                                   "random-sched", "worst"])
+    report_p.add_argument("--adversary", default="none", choices=ADVERSARY_CHOICES)
     report_p.add_argument("--duration", type=float, default=10.0)
     report_p.add_argument("--warmup", type=float, default=2.0)
     report_p.add_argument("--seed", type=int, default=0)
     report_p.add_argument("--crypto", default="hmac",
                           choices=["schnorr", "hmac", "null"])
+    _add_retrieval_args(report_p)
 
     sub.add_parser("table1", help="Table I: paper vs measured step counts")
 
@@ -120,7 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _make_config(args) -> ExperimentConfig:
     return ExperimentConfig(
-        system=SystemConfig(n=args.replicas, crypto=args.crypto, seed=args.seed),
+        system=SystemConfig(
+            n=args.replicas, crypto=args.crypto, seed=args.seed,
+            retry_base=args.retry_base, retry_cap=args.retry_cap,
+            fanout_after=args.fanout_after,
+            max_response_blocks=args.max_response_blocks,
+        ),
         protocol=ProtocolConfig(batch_size=args.batch),
         protocol_name=args.protocol,
         adversary_name=args.adversary,

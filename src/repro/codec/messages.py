@@ -10,6 +10,7 @@ framing concern, not a silent-skip concern, in a BFT setting.
 from __future__ import annotations
 
 from ..broadcast.messages import (
+    MAX_REQUEST_DIGESTS,
     BlockEcho,
     BlockReady,
     BlockVal,
@@ -133,9 +134,17 @@ def decode_message(data: bytes) -> Message:
     elif kind == _KIND_READY:
         msg = BlockReady(round=r.uvarint(), author=r.uvarint(), digest=r.lp_bytes())
     elif kind == _KIND_RETR_REQ:
-        msg = RetrievalRequest(tuple(r.lp_bytes() for _ in range(r.uvarint())))
+        count = r.uvarint()
+        # Bound claimed element counts before looping: a malicious frame
+        # announcing 2^60 digests must fail fast, not drain the reader.
+        if count > MAX_REQUEST_DIGESTS:
+            raise CodecError(f"retrieval request claims {count} digests")
+        msg = RetrievalRequest(tuple(r.lp_bytes() for _ in range(count)))
     elif kind == _KIND_RETR_RESP:
-        msg = RetrievalResponse(tuple(decode_block(r) for _ in range(r.uvarint())))
+        count = r.uvarint()
+        if count > MAX_REQUEST_DIGESTS:
+            raise CodecError(f"retrieval response claims {count} blocks")
+        msg = RetrievalResponse(tuple(decode_block(r) for _ in range(count)))
     elif kind == _KIND_COIN:
         msg = CoinShareMsg(_decode_coin_share(r))
     elif kind == _KIND_COIN_REQ:

@@ -57,12 +57,31 @@ class SystemConfig:
         (size-accounted no-op, for very large simulations).
     seed:
         Master seed for deterministic key generation and coin setup.
+    retry_base:
+        §IV-A retrieval: base retry delay in seconds.  Retry ``k`` of a
+        missing block waits ``retry_base * 2^k`` (exponent capped) plus
+        deterministic jitter.
+    retry_cap:
+        §IV-A retrieval: retries per missing block before the request is
+        abandoned (revivable on fresh evidence) — the bound the
+        no-infinite-retry-loop guarantee rests on.
+    fanout_after:
+        §IV-A retrieval: single-target retries before escalating to an
+        ``f + 1`` fan-out, so at least one honest holder is asked even if
+        every earlier target was Byzantine.
+    max_response_blocks:
+        §IV-A retrieval: responder-side cap on blocks per
+        ``RetrievalResponse``; larger answers are chunked across messages.
     """
 
     n: int
     f: int = -1
     crypto: str = "hmac"
     seed: int = 0
+    retry_base: float = 0.5
+    retry_cap: int = 8
+    fanout_after: int = 3
+    max_response_blocks: int = 16
 
     def __post_init__(self) -> None:
         if self.f < 0:
@@ -76,6 +95,18 @@ class SystemConfig:
             )
         if self.crypto not in ("schnorr", "hmac", "null"):
             raise ConfigError(f"unknown crypto backend {self.crypto!r}")
+        if self.retry_base <= 0:
+            raise ConfigError(f"retry_base must be positive, got {self.retry_base}")
+        if self.retry_cap < 1:
+            raise ConfigError(f"retry_cap must be >= 1, got {self.retry_cap}")
+        if self.fanout_after < 1:
+            raise ConfigError(
+                f"fanout_after must be >= 1, got {self.fanout_after}"
+            )
+        if self.max_response_blocks < 1:
+            raise ConfigError(
+                f"max_response_blocks must be >= 1, got {self.max_response_blocks}"
+            )
 
     @property
     def quorum(self) -> int:

@@ -144,6 +144,11 @@ class BaseDagNode(Node):
             seed=system.seed,
             enabled=protocol.retrieval_enabled,
             obs=self.obs,
+            retry_base=system.retry_base,
+            retry_cap=system.retry_cap,
+            fanout_after=system.fanout_after,
+            fanout_width=system.validity_quorum,
+            max_response_blocks=system.max_response_blocks,
         )
         self.payload_source = payload_source or (lambda now: EMPTY_BATCH)
         self.on_commit = on_commit
@@ -297,8 +302,12 @@ class BaseDagNode(Node):
                     self._try_accept(block, src, retrieved=True)
                 else:
                     # Duplicate VAL = a peer's stall-recovery re-broadcast;
-                    # refresh our endorsement so lost echoes are replaced.
+                    # refresh our endorsement so lost echoes are replaced,
+                    # and treat it as fresh evidence for any abandoned
+                    # parent retrievals of this still-parked block.
                     manager.refresh_vote(block)
+                    if self.retrieval.is_pending(block.digest):
+                        self.retrieval.revive(block.digest)
             return
         if not 0 <= block.author < self.system.n or block.round < 1:
             self._invalid.add(block.digest)
@@ -317,8 +326,12 @@ class BaseDagNode(Node):
 
     def _try_accept(self, block: Block, src: int, retrieved: bool = False) -> None:
         missing = self.store.missing(block.parents)
-        if missing:
-            self.retrieval.note_pending(block, src, missing, retrieved=retrieved)
+        # note_pending returns False when nothing is actually missing (the
+        # manager re-filters against the store): fall through and accept —
+        # an empty registration could never become ready.
+        if missing and self.retrieval.note_pending(
+            block, src, missing, retrieved=retrieved
+        ):
             return
         self._finish_accept(block, src, retrieved=retrieved)
 
@@ -681,6 +694,9 @@ class BaseDagNode(Node):
         )
         if horizon > 1:
             self.store.prune_below(horizon)
+            # Retrieval state below the horizon is equally dead: a pending
+            # block whose round is being pruned can never be accepted.
+            self.retrieval.gc_below(horizon)
 
     # -------------------------------------------------------------- metrics
 

@@ -14,6 +14,8 @@ Adversary names (``ExperimentConfig.adversary_name``):
 ``leader-delay``   delay predefined Bullshark leaders' blocks (§VI-A)
 ``equivocate``     ``f`` staggered equivocating replicas (§VI-A vs LightDAG2)
 ``random-sched``   unstructured random delays (property tests)
+``withhold``       ``f`` replicas ignore retrieval requests (§IV-A attack)
+``withhold-garbage``  same, but answering with mislabeled junk bodies
 ``worst``          the §VI-A per-protocol strongest attack, resolved from the
                    protocol name — what Fig. 15 plots
 =================  ============================================================
@@ -29,6 +31,7 @@ from ..adversary.byzantine import EquivocatingLightDag2Node, stagger_start_waves
 from ..adversary.crash import CrashAdversary
 from ..adversary.delay import BullsharkLeaderDelayAdversary
 from ..adversary.scheduler import RandomSchedulingAdversary
+from ..adversary.withhold import withholding_node_class
 from ..baselines.bullshark import BullsharkNode
 from ..baselines.dagrider import DagRiderNode
 from ..baselines.tusk import TuskNode
@@ -133,6 +136,16 @@ def build_adversary(
             return build
 
         return None, {b: override_for(b) for b in byzantine}
+    if name in ("withhold", "withhold-garbage"):
+        node_cls = PROTOCOL_REGISTRY[cfg.protocol_name]
+        mode = "garbage" if name == "withhold-garbage" else "ignore"
+        wh_cls = withholding_node_class(node_cls, mode=mode)
+        byzantine = list(range(system.n - system.f, system.n))
+
+        def wh_build(net, **kwargs):
+            return wh_cls(net, **kwargs)
+
+        return None, {b: wh_build for b in byzantine}
     raise ConfigError(f"unknown adversary {name!r}")
 
 

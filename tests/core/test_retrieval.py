@@ -21,7 +21,7 @@ def chain_blocks():
 def setup():
     net = FakeNet(node_id=0, n=4)
     store = DagStore(n=4)
-    manager = RetrievalManager(net, store, retry_delay=0.5)
+    manager = RetrievalManager(net, store, retry_base=0.5)
     return net, store, manager
 
 
@@ -40,7 +40,24 @@ class TestRequesting:
         net, _, manager = setup
         a, b = chain_blocks()
         manager.note_pending(b, src=2, missing=[a.digest])
-        assert (0.5, RETRY_TAG, a.digest) in net.timers
+        armed = [
+            (at, tag, data) for at, tag, data in net.timers
+            if tag == RETRY_TAG and data == a.digest
+        ]
+        assert len(armed) == 1
+        # base delay plus deterministic jitter in [0, 0.5 * base)
+        assert 0.5 <= armed[0][0] < 0.75
+
+    def test_no_duplicate_timers_per_digest(self, setup):
+        """Re-registering dependents of the same missing parent must not
+        pile extra retry timers into the queue."""
+        net, _, manager = setup
+        a, b = chain_blocks()
+        c = make_block(2, 1, [a.digest])
+        manager.note_pending(b, src=2, missing=[a.digest])
+        manager.note_pending(c, src=3, missing=[a.digest])
+        timers = [t for t in net.timers if t[1] == RETRY_TAG]
+        assert len(timers) == 1
 
     def test_duplicate_pending_ignored(self, setup):
         net, _, manager = setup
@@ -57,6 +74,52 @@ class TestRequesting:
         manager.note_pending(c, src=3, missing=[a.digest])
         requests = [m for _, m in net.sent if isinstance(m, RetrievalRequest)]
         assert len(requests) == 1
+
+    def test_note_pending_empty_missing_reports_complete(self, setup):
+        """An empty missing list must not register a block that can never
+        become ready (no parent delivery would trigger satisfied_by)."""
+        net, _, manager = setup
+        _, b = chain_blocks()
+        assert manager.note_pending(b, src=2, missing=[]) is False
+        assert not manager.is_pending(b.digest)
+        assert net.sent == []
+
+    def test_note_pending_already_stored_parent_reports_complete(self, setup):
+        net, store, manager = setup
+        a, b = chain_blocks()
+        store.add(a)
+        assert manager.note_pending(b, src=2, missing=[a.digest]) is False
+        assert not manager.is_pending(b.digest)
+        assert net.sent == []
+
+    def test_note_pending_registered_returns_true(self, setup):
+        _, _, manager = setup
+        a, b = chain_blocks()
+        assert manager.note_pending(b, src=2, missing=[a.digest]) is True
+        assert manager.note_pending(b, src=3, missing=[a.digest]) is True
+
+    def test_requested_state_pruned_on_delivery(self, setup):
+        """_requested/_inflight must not grow without bound: delivery of
+        the missing parent releases every trace of the request."""
+        _, store, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        assert manager.inflight_count() == 1
+        store.add(a)
+        manager.satisfied_by(a.digest)
+        assert manager.inflight_count() == 0
+        assert a.digest not in manager._requested
+        # a late (duplicate) response for the delivered digest is ignored
+        assert manager.on_response(3, RetrievalResponse((a,))) == []
+
+    def test_requested_state_pruned_on_drop(self, setup):
+        """Dropping the only dependent cancels the parent's request too."""
+        _, _, manager = setup
+        a, b = chain_blocks()
+        manager.note_pending(b, src=2, missing=[a.digest])
+        manager.drop_pending(b.digest)
+        assert manager.inflight_count() == 0
+        assert a.digest not in manager._requested
 
     def test_disabled_manager_sends_nothing(self):
         net = FakeNet()
