@@ -9,7 +9,7 @@ pure-Python codec.
 import pytest
 
 from repro.codec.blocks import block_from_bytes, block_to_bytes
-from repro.codec.messages import decode_message, encode_message
+from repro.codec.messages import decode_message, encode_message, encoded_wire_bytes
 from repro.broadcast.messages import BlockEcho, BlockVal
 from repro.config import SystemConfig
 from repro.crypto.backend import HmacBackend
@@ -55,3 +55,36 @@ class TestCodecThroughput:
             return decode_message(encode_message(msg))
 
         assert benchmark(roundtrip) == msg
+
+
+class TestEncodeOnceFanout:
+    """The transport fan-out: one message serialized for n-1 recipients."""
+
+    N_RECIPIENTS = 16
+
+    def test_fanout16_encode_per_recipient(self, benchmark):
+        block = big_block(txs=100)
+
+        def fanout():
+            msg = BlockVal(block)
+            return [encode_message(msg) for _ in range(self.N_RECIPIENTS)]
+
+        assert len(benchmark(fanout)) == self.N_RECIPIENTS
+
+    def test_fanout16_encode_once(self, benchmark):
+        block = big_block(txs=100)
+
+        def fanout():
+            msg = BlockVal(block)  # fresh instance: one real encode per run
+            return [encoded_wire_bytes(msg) for _ in range(self.N_RECIPIENTS)]
+
+        assert len(benchmark(fanout)) == self.N_RECIPIENTS
+
+    def test_wire_size_x16(self, benchmark):
+        block = big_block(txs=100)
+
+        def sizes_():
+            msg = BlockVal(block)
+            return [msg.wire_size() for _ in range(self.N_RECIPIENTS)]
+
+        assert len(set(benchmark(sizes_))) == 1

@@ -28,9 +28,20 @@ class TestSigningBackends:
         benchmark(backend.sign, MSG)
 
     def test_schnorr_verify(self, benchmark):
+        # Steady-state: repeated claims hit the verify-once memo.
         backend = SchnorrBackend(CHAINS[0])
         sig = backend.sign(MSG)
         assert benchmark(backend.verify, 0, MSG, sig)
+
+    def test_schnorr_verify_cold(self, benchmark):
+        # The un-memoized equation check (first sight of a signature).
+        from repro.crypto.group import default_group
+        from repro.crypto.schnorr import schnorr_verify
+
+        group = default_group(256)
+        keypair = CHAINS[0].keypair
+        sig = SchnorrBackend(CHAINS[0]).sign(MSG)
+        assert benchmark(schnorr_verify, group, keypair.pk, MSG, sig)
 
     def test_hmac_sign(self, benchmark):
         backend = HmacBackend(0, SYSTEM)
@@ -45,6 +56,44 @@ class TestSigningBackends:
         benchmark(NullBackend().sign, MSG)
 
 
+class TestBatchVerification:
+    """The intake hot path: n-1 echo-class signatures per round slot."""
+
+    def _echo_items(self, count=16):
+        items = []
+        for i in range(count):
+            signer = i % len(CHAINS)
+            digest = hash_fields("echo", i)
+            sig = SchnorrBackend(CHAINS[signer]).sign(digest)
+            items.append((signer, digest, sig))
+        return items
+
+    def test_schnorr_verify_batch16(self, benchmark):
+        items = self._echo_items(16)
+
+        def batch():
+            # Fresh backend per run so the memo never short-circuits the
+            # batch equation itself.
+            return SchnorrBackend(CHAINS[0]).verify_batch(items)
+
+        assert benchmark(batch)
+
+    def test_schnorr_verify_one_by_one16(self, benchmark):
+        items = self._echo_items(16)
+
+        def sweep():
+            backend = SchnorrBackend(CHAINS[0])
+            return all(backend.verify(*item) for item in items)
+
+        assert benchmark(sweep)
+
+    def test_schnorr_verify_memo_hit(self, benchmark):
+        backend = SchnorrBackend(CHAINS[0])
+        sig = backend.sign(MSG)
+        assert backend.verify(0, MSG, sig)  # populate the memo
+        assert benchmark(backend.verify, 0, MSG, sig)
+
+
 class TestCoin:
     def test_threshold_coin_share(self, benchmark):
         coin = ThresholdCoin(CHAINS[0])
@@ -53,7 +102,24 @@ class TestCoin:
     def test_threshold_coin_verify_share(self, benchmark):
         coins = [ThresholdCoin(c) for c in CHAINS]
         share = coins[1].make_share(1)
-        assert benchmark(coins[0].verify_share, share)
+
+        def verify_cold():
+            coin = ThresholdCoin(CHAINS[0])  # fresh memo: full DLEQ check
+            return coin.verify_share(share)
+
+        assert benchmark(verify_cold)
+
+    def test_threshold_verify_partial(self, benchmark):
+        coins = [ThresholdCoin(c) for c in CHAINS]
+        share = coins[1].make_share(1)
+        message = coins[0]._coin_input(1)
+
+        def verify_cold():
+            return ThresholdCoin(CHAINS[0]).prf.verify_partial(
+                message, share.payload
+            )
+
+        assert benchmark(verify_cold)
 
     def test_threshold_coin_reveal(self, benchmark):
         shares = [ThresholdCoin(c).make_share(1) for c in CHAINS]
@@ -74,8 +140,22 @@ class TestPrimitives:
         benchmark(hash_fields, "block", 12, 3, (b"\x00" * 32,) * 4)
 
     def test_group_exp(self, benchmark):
+        # The generator is always a registered fixed base: comb-table path.
         group = default_group(256)
         benchmark(group.exp, group.g, 0xDEADBEEF12345678)
+
+    def test_group_exp_unregistered(self, benchmark):
+        # Arbitrary base: falls back to CPython pow (the pre-table cost).
+        group = default_group(256)
+        base = pow(group.g, 31337, group.p)
+        benchmark(group.exp, base, 0xDEADBEEF12345678)
+
+    def test_group_multi_exp2(self, benchmark):
+        # The DLEQ verification shape: g^s * h^(q-c) in one pass.
+        group = default_group(256)
+        h = pow(group.g, 31337, group.p)
+        pairs = ((group.g, 0xDEADBEEF12345678), (h, group.q - 12345))
+        benchmark(group.multi_exp, pairs)
 
     def test_shamir_split(self, benchmark):
         group = default_group(256)

@@ -29,6 +29,7 @@ the seeded sequence ``H(seed, wave) mod n`` (fixed before execution —
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Set
 
 from ..broadcast.rbc import RbcManager
@@ -89,7 +90,7 @@ class BullsharkNode(BaseDagNode):
     def _participate(self, block: Block, src: int) -> None:
         self.rbc.echo(block)
 
-    def _holders_of(self, digest: Digest) -> Set[int]:
+    def _holders_of(self, digest: Digest) -> AbstractSet:
         return self.rbc.echoers_of(digest)
 
     # ---------------------------------------------------- predefined leaders

@@ -12,6 +12,7 @@ Latency accounting (Table I): 4 RBC rounds × 3 steps = 12 steps best case
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Set
 
 from ..broadcast.rbc import RbcManager
@@ -46,5 +47,5 @@ class DagRiderNode(BaseDagNode):
     def _participate(self, block: Block, src: int) -> None:
         self.rbc.echo(block)
 
-    def _holders_of(self, digest: Digest) -> Set[int]:
+    def _holders_of(self, digest: Digest) -> AbstractSet:
         return self.rbc.echoers_of(digest)

@@ -12,6 +12,7 @@ travel with the round-3 VALs, so the simulator exhibits the 7-step figure).
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Set
 
 from ..broadcast.rbc import RbcManager
@@ -46,5 +47,5 @@ class TuskNode(BaseDagNode):
     def _participate(self, block: Block, src: int) -> None:
         self.rbc.echo(block)
 
-    def _holders_of(self, digest: Digest) -> Set[int]:
+    def _holders_of(self, digest: Digest) -> AbstractSet:
         return self.rbc.echoers_of(digest)

@@ -18,14 +18,55 @@ retrieval gate) out of the broadcast layer, matching the paper's layering.
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, Iterator, Optional, Set
 
 from ..crypto.hashing import Digest
 from ..dag.block import Block
 from ..obs import NULL_OBS, Observability
 
 DeliverCallback = Callable[[Block], None]
+
+
+class SetView(AbstractSet):
+    """Read-only, copy-free view over a live ``set``.
+
+    ``echoers_of`` sits on the retrieval-fallback hot path (consulted per
+    retry timer and per accepted block); copying the echoer set each call
+    is Θ(n) garbage per query.  The view supports membership, iteration,
+    length, and the standard set algebra via :class:`collections.abc.Set`,
+    but exposes no mutators — callers cannot corrupt broadcast state.  It
+    is *live*: it reflects later echoes, which is exactly what a retrying
+    retriever wants.
+    """
+
+    __slots__ = ("_target",)
+
+    def __init__(self, target: "Set[int] | frozenset") -> None:
+        self._target = target
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._target
+
+    def __iter__(self) -> Iterator:
+        return iter(self._target)
+
+    def __len__(self) -> int:
+        return len(self._target)
+
+    @classmethod
+    def _from_iterable(cls, it) -> frozenset:
+        # Set-algebra results (view & other, view | other, ...) are new
+        # collections, not views — materialize them.
+        return frozenset(it)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SetView({set(self._target)!r})"
+
+
+#: Shared empty view for digests with no instance state.
+EMPTY_SET_VIEW = SetView(frozenset())
 
 
 @dataclass
@@ -91,8 +132,10 @@ class InstanceTracker:
         inst = self._instances.get(digest)
         return inst is not None and inst.delivered
 
-    def echoers_of(self, digest: Digest) -> Set[int]:
+    def echoers_of(self, digest: Digest) -> AbstractSet:
         """Replicas that echoed a digest — retrieval fallback targets: they
-        are guaranteed (if non-faulty) to hold the body and its ancestors."""
+        are guaranteed (if non-faulty) to hold the body and its ancestors.
+
+        Returns a live read-only :class:`SetView` (no per-call copy)."""
         inst = self._instances.get(digest)
-        return set(inst.echoers) if inst else set()
+        return SetView(inst.echoers) if inst else EMPTY_SET_VIEW

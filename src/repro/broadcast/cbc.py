@@ -24,6 +24,7 @@ precisely to patch this.
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..crypto.hashing import Digest
@@ -149,5 +150,6 @@ class CbcManager:
         inst = self.tracker.peek(digest)
         return inst is not None and len(inst.echoers) >= self.quorum
 
-    def echoers_of(self, digest: Digest) -> Set[int]:
+    def echoers_of(self, digest: Digest) -> AbstractSet:
+        """Live read-only view of a digest's echoers (no copy)."""
         return self.tracker.echoers_of(digest)

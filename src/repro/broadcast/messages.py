@@ -19,11 +19,22 @@ from ..crypto.coin import CoinShare
 from ..crypto.hashing import Digest
 from ..dag.block import Block
 from ..net import sizes
-from ..net.interfaces import Message
+from ..net.interfaces import Message, SizedMessage
+
+#: Precomputed constant sizes — echo-class messages all cost the same
+#: bytes, and the simulator asks per delivery (Θ(n²) per round).
+_VOTE_SIZE = (
+    sizes.HEADER_OVERHEAD
+    + 2 * sizes.INT_SIZE
+    + sizes.DIGEST_SIZE
+    + sizes.SIGNATURE_SIZE
+)
+_COIN_SHARE_MSG_SIZE = sizes.HEADER_OVERHEAD + sizes.COIN_SHARE_SIZE
+_COIN_REQ_SIZE = sizes.HEADER_OVERHEAD + sizes.INT_SIZE
 
 
 @dataclass(frozen=True)
-class BlockVal(Message):
+class BlockVal(SizedMessage):
     """First step of every broadcast: the proposer ships the block body.
 
     Serves as PBC's only message, CBC's VAL step, and RBC's initial send.
@@ -31,7 +42,7 @@ class BlockVal(Message):
 
     block: Block
 
-    def wire_size(self) -> int:
+    def _compute_wire_size(self) -> int:
         return sizes.HEADER_OVERHEAD + self.block.wire_size()
 
 
@@ -44,12 +55,7 @@ class BlockEcho(Message):
     digest: Digest
 
     def wire_size(self) -> int:
-        return (
-            sizes.HEADER_OVERHEAD
-            + 2 * sizes.INT_SIZE
-            + sizes.DIGEST_SIZE
-            + sizes.SIGNATURE_SIZE
-        )
+        return _VOTE_SIZE
 
 
 @dataclass(frozen=True)
@@ -61,12 +67,7 @@ class BlockReady(Message):
     digest: Digest
 
     def wire_size(self) -> int:
-        return (
-            sizes.HEADER_OVERHEAD
-            + 2 * sizes.INT_SIZE
-            + sizes.DIGEST_SIZE
-            + sizes.SIGNATURE_SIZE
-        )
+        return _VOTE_SIZE
 
 
 #: Hard bound on digests a responder will honor per RetrievalRequest.
@@ -87,11 +88,12 @@ class RetrievalRequest(Message):
     digests: Tuple[Digest, ...]
 
     def wire_size(self) -> int:
+        # Cheap closed form; not worth a memo slot.
         return sizes.HEADER_OVERHEAD + len(self.digests) * sizes.DIGEST_SIZE
 
 
 @dataclass(frozen=True)
-class RetrievalResponse(Message):
+class RetrievalResponse(SizedMessage):
     """§IV-A block retrieval: the peer ships requested blocks it has.
 
     Responders chunk large answers — no single response carries more than
@@ -104,7 +106,7 @@ class RetrievalResponse(Message):
 
     blocks: Tuple[Block, ...]
 
-    def wire_size(self) -> int:
+    def _compute_wire_size(self) -> int:
         return sizes.HEADER_OVERHEAD + sum(b.wire_size() for b in self.blocks)
 
 
@@ -121,7 +123,7 @@ class CoinShareMsg(Message):
     share: CoinShare
 
     def wire_size(self) -> int:
-        return sizes.HEADER_OVERHEAD + sizes.COIN_SHARE_SIZE
+        return _COIN_SHARE_MSG_SIZE
 
     @property
     def wave(self) -> int:
@@ -144,11 +146,11 @@ class CoinShareRequest(Message):
     wave: int
 
     def wire_size(self) -> int:
-        return sizes.HEADER_OVERHEAD + sizes.INT_SIZE
+        return _COIN_REQ_SIZE
 
 
 @dataclass(frozen=True)
-class ContradictionNotice(Message):
+class ContradictionNotice(SizedMessage):
     """LightDAG2 Rule 2: ``p_x`` tells proposer ``p_y`` that ``p_y``'s CBC
     block references a block contradicting one ``p_x`` already voted for.
 
@@ -161,7 +163,7 @@ class ContradictionNotice(Message):
     #: The previously-voted-for conflicting block (C⁰ in Fig. 9).
     conflicting_block: Block
 
-    def wire_size(self) -> int:
+    def _compute_wire_size(self) -> int:
         return (
             sizes.HEADER_OVERHEAD
             + sizes.DIGEST_SIZE
@@ -170,7 +172,7 @@ class ContradictionNotice(Message):
 
 
 @dataclass(frozen=True)
-class ByzantineProofMsg(Message):
+class ByzantineProofMsg(SizedMessage):
     """LightDAG2 Rule 3: forward a Byzantine proof to a CBC proposer whose
     block still references the culprit's blocks."""
 
@@ -180,7 +182,7 @@ class ByzantineProofMsg(Message):
     #: Digest of the CBC block whose vote is being withheld (for context).
     objected: Digest
 
-    def wire_size(self) -> int:
+    def _compute_wire_size(self) -> int:
         return (
             sizes.HEADER_OVERHEAD
             + sizes.INT_SIZE

@@ -17,6 +17,7 @@ Three message steps → the 3× latency multiplier that motivates the paper
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Dict, Optional, Set, Tuple
 
 from ..crypto.hashing import Digest
@@ -168,5 +169,6 @@ class RbcManager:
         inst = self.tracker.peek(digest)
         return inst is not None and len(inst.readiers) >= self.quorum
 
-    def echoers_of(self, digest: Digest) -> Set[int]:
+    def echoers_of(self, digest: Digest) -> AbstractSet:
+        """Live read-only view of a digest's echoers (no copy)."""
         return self.tracker.echoers_of(digest)

@@ -27,7 +27,7 @@ def encode_signature(w: Writer, signature: object) -> None:
         w.lp_bytes(signature)
     elif isinstance(signature, SchnorrSignature):
         w.byte(_SIG_SCHNORR)
-        w.bigint(signature.c)
+        w.bigint(signature.R)
         w.bigint(signature.s)
     else:
         raise CodecError(f"unknown signature type {type(signature).__name__}")
@@ -41,7 +41,7 @@ def decode_signature(r: Reader) -> object:
     if tag == _SIG_BYTES:
         return r.lp_bytes()
     if tag == _SIG_SCHNORR:
-        return SchnorrSignature(c=r.bigint(), s=r.bigint())
+        return SchnorrSignature(R=r.bigint(), s=r.bigint())
     raise CodecError(f"unknown signature tag {tag}")
 
 

@@ -122,6 +122,25 @@ def encode_message(msg: Message) -> bytes:
     return w.getvalue()
 
 
+def encoded_wire_bytes(msg: Message) -> bytes:
+    """Encode ``msg`` once and memoize the bytes on the instance.
+
+    The transports fan every message out to ``n-1`` peers; the payload
+    bytes are identical per recipient, so serializing per send is Θ(n)
+    redundant work per broadcast.  Message dataclasses are frozen, which
+    makes the memo impossible to invalidate — the bytes can never go
+    stale.  Falls back to a plain encode for slotted/foreign messages.
+    """
+    try:
+        cached = msg.__dict__.get("_wire_bytes")
+    except AttributeError:  # __slots__-style message: nowhere to memoize
+        return encode_message(msg)
+    if cached is None:
+        cached = encode_message(msg)
+        object.__setattr__(msg, "_wire_bytes", cached)
+    return cached
+
+
 def decode_message(data: bytes) -> Message:
     """Decode one message; rejects unknown kinds and trailing bytes."""
     r = Reader(data)

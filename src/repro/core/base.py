@@ -31,6 +31,7 @@ leaders were either cascaded in or provably non-committable).
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Callable, Dict, List, Optional, Set
 
 from ..broadcast.messages import (
@@ -258,7 +259,23 @@ class BaseDagNode(Node):
         elif isinstance(msg, RetrievalRequest):
             self.retrieval.on_request(src, msg)
         elif isinstance(msg, RetrievalResponse):
-            for block, origin in self.retrieval.on_response(src, msg):
+            deliveries = list(self.retrieval.on_response(src, msg))
+            if len(deliveries) > 1:
+                # A chunked response carries many author signatures at
+                # once: one randomized batch verification seeds the
+                # backend's verify-once memo, so the per-block check in
+                # _on_block_body is a set lookup.  A failed batch is
+                # simply not cached — the per-block path then localizes
+                # and attributes the forgery exactly as without batching.
+                self.backend.verify_batch(
+                    [
+                        (block.author, block.digest, block.signature)
+                        for block, _origin in deliveries
+                        if block.digest not in self._known
+                        and block.digest not in self._invalid
+                    ]
+                )
+            for block, origin in deliveries:
                 self._on_block_body(origin, block, retrieved=True)
         else:
             self._on_other_message(src, msg)
@@ -282,9 +299,12 @@ class BaseDagNode(Node):
             self._advance_scheduled = True
             self.net.set_timer(0.0, ADVANCE_TAG)
 
-    def _holders_of(self, digest: Digest) -> Set[int]:
-        """Replicas believed to hold a block body (echoers of its digest)."""
-        return set()
+    def _holders_of(self, digest: Digest) -> AbstractSet:
+        """Replicas believed to hold a block body (echoers of its digest).
+
+        Implementations return a live read-only view (see
+        ``InstanceTracker.echoers_of``) — never mutate the result."""
+        return frozenset()
 
     # -------------------------------------------------------------- accepting
 

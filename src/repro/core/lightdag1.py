@@ -22,6 +22,7 @@ full CBC).
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Set
 
 from ..crypto.hashing import Digest
@@ -52,7 +53,7 @@ class LightDag1Node(BaseDagNode):
         if not self.cbc.has_voted_in_slot(block.slot):
             self.cbc.vote(block)
 
-    def _holders_of(self, digest: Digest) -> Set[int]:
+    def _holders_of(self, digest: Digest) -> AbstractSet:
         return self.cbc.echoers_of(digest)
 
 

@@ -40,6 +40,7 @@ bounds how much equivocated data can ever reach the ledger.
 
 from __future__ import annotations
 
+from collections.abc import Set as AbstractSet
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..broadcast.cbc import CbcManager
@@ -114,7 +115,7 @@ class LightDag2Node(BaseDagNode):
     def _commit_threshold_value(self) -> int:
         return self.system.quorum  # n - f, §III-D
 
-    def _holders_of(self, digest: Digest) -> Set[int]:
+    def _holders_of(self, digest: Digest) -> AbstractSet:
         return self.cbc.echoers_of(digest)
 
     # ------------------------------------------------------------- messages

@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from collections.abc import Set as AbstractSet
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..crypto.hashing import Digest
@@ -387,7 +388,7 @@ class RetrievalManager:
             out.append((block, src))
         return out
 
-    def on_retry_timer(self, digest: Digest, candidates: Set[int]) -> None:
+    def on_retry_timer(self, digest: Digest, candidates: AbstractSet) -> None:
         """Retry a still-missing block against different replicas.
 
         ``candidates`` are replicas known to hold the block (echoers); if
@@ -432,7 +433,7 @@ class RetrievalManager:
         self._arm_timer(digest, state)
 
     def _pick_targets(
-        self, state: _Request, candidates: Set[int], fanout: bool
+        self, state: _Request, candidates: AbstractSet, fanout: bool
     ) -> List[int]:
         """Choose the next responder(s), avoiding self and the last targets."""
         me = self.net.node_id

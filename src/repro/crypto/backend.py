@@ -15,6 +15,17 @@ Three implementations trade realism for simulation speed:
 All backends expose the same interface, sign/verify 32-byte digests, and
 report a modeled wire size so the network simulator charges the same
 bandwidth regardless of backend.
+
+Beyond single verification the interface offers:
+
+* :meth:`CryptoBackend.verify_batch` / :meth:`CryptoBackend.invalid_in_batch`
+  — verify many (signer, digest, signature) claims at once.  The Schnorr
+  backend uses randomized small-exponent batch verification with bisection
+  localization (docs/PERFORMANCE.md); others fall back to a loop.
+* a bounded verify-once memo (:mod:`repro.crypto.memo`): claims already
+  accepted are never re-verified, so duplicate echoes, retrieval re-sends
+  and re-broadcast proofs cost a set lookup.  Only positive results are
+  cached; the key is the full (signer, digest, signature) triple.
 """
 
 from __future__ import annotations
@@ -22,12 +33,24 @@ from __future__ import annotations
 import hashlib
 import hmac
 from abc import ABC, abstractmethod
+from typing import List, Sequence, Tuple
 
 from ..config import SystemConfig
 from ..errors import CryptoError
 from .hashing import Digest
 from .keys import KeyChain
-from .schnorr import SIGNATURE_SIZE, SchnorrSignature, schnorr_sign, schnorr_verify
+from .memo import DEFAULT_CAPACITY, VerifiedMemo
+from .schnorr import (
+    SIGNATURE_SIZE,
+    SchnorrSignature,
+    schnorr_batch_invalid,
+    schnorr_sign,
+    schnorr_verify,
+    schnorr_verify_batch,
+)
+
+#: One batch-verification claim: (signer id, message digest, signature).
+VerifyItem = Tuple[int, Digest, object]
 
 
 class CryptoBackend(ABC):
@@ -44,13 +67,34 @@ class CryptoBackend(ABC):
     def verify(self, signer: int, message: Digest, signature: object) -> bool:
         """Verify ``signer``'s signature on ``message``."""
 
+    def verify_batch(self, items: Sequence[VerifyItem]) -> bool:
+        """True iff every (signer, message, signature) claim verifies.
+
+        Default: a plain loop.  Backends with a real batch equation
+        override this; callers may rely only on the boolean semantics.
+        """
+        return all(self.verify(s, m, sig) for s, m, sig in items)
+
+    def invalid_in_batch(self, items: Sequence[VerifyItem]) -> List[int]:
+        """Indices of the claims that do not verify (exact attribution)."""
+        return [
+            i for i, (s, m, sig) in enumerate(items) if not self.verify(s, m, sig)
+        ]
+
 
 class SchnorrBackend(CryptoBackend):
-    """Real Schnorr signatures over the library group."""
+    """Real Schnorr signatures over the library group.
 
-    def __init__(self, keychain: KeyChain) -> None:
+    Construction registers every dealt public key as a fixed base of the
+    (shared) group, so verification exponentiations run off comb tables,
+    and keeps a bounded verify-once memo — see the module docstring.
+    """
+
+    def __init__(self, keychain: KeyChain, memo_capacity: int = DEFAULT_CAPACITY) -> None:
         self.keychain = keychain
         self.group = keychain.group
+        self.group.register_fixed_bases(keychain.public_keys.values())
+        self._verified = VerifiedMemo(memo_capacity)
 
     def sign(self, message: Digest) -> SchnorrSignature:
         return schnorr_sign(self.group, self.keychain.keypair, message)
@@ -61,7 +105,61 @@ class SchnorrBackend(CryptoBackend):
         pk = self.keychain.public_keys.get(signer)
         if pk is None:
             return False
-        return schnorr_verify(self.group, pk, message, signature)
+        key = (signer, message, signature)
+        if key in self._verified:
+            return True
+        ok = schnorr_verify(self.group, pk, message, signature)
+        if ok:
+            self._verified.add(key)
+        return ok
+
+    def _split_batch(
+        self, items: Sequence[VerifyItem]
+    ) -> "tuple[list[tuple[int, tuple]], bool]":
+        """(unverified well-formed claims with their original index, all
+        claims well-formed?).  Malformed = unknown signer or non-Schnorr
+        signature object — rejected without any group arithmetic."""
+        pending: list = []
+        well_formed = True
+        public_keys = self.keychain.public_keys
+        for i, (signer, message, signature) in enumerate(items):
+            if not isinstance(signature, SchnorrSignature):
+                well_formed = False
+                continue
+            pk = public_keys.get(signer)
+            if pk is None:
+                well_formed = False
+                continue
+            if (signer, message, signature) in self._verified:
+                continue
+            pending.append((i, (pk, message, signature)))
+        return pending, well_formed
+
+    def verify_batch(self, items: Sequence[VerifyItem]) -> bool:
+        pending, well_formed = self._split_batch(items)
+        if not well_formed:
+            return False
+        if not schnorr_verify_batch(self.group, [claim for _, claim in pending]):
+            return False
+        for i, _claim in pending:
+            signer, message, signature = items[i]
+            self._verified.add((signer, message, signature))
+        return True
+
+    def invalid_in_batch(self, items: Sequence[VerifyItem]) -> List[int]:
+        pending, _ = self._split_batch(items)
+        bad = {pending[j][0] for j in
+               schnorr_batch_invalid(self.group, [claim for _, claim in pending])}
+        # Malformed claims (skipped by _split_batch) are invalid too.
+        public_keys = self.keychain.public_keys
+        for i, (signer, _message, signature) in enumerate(items):
+            if not isinstance(signature, SchnorrSignature) or signer not in public_keys:
+                bad.add(i)
+        for i, _claim in pending:
+            if i not in bad:
+                signer, message, signature = items[i]
+                self._verified.add((signer, message, signature))
+        return sorted(bad)
 
 
 class HmacBackend(CryptoBackend):
@@ -73,7 +171,12 @@ class HmacBackend(CryptoBackend):
     substitution is documented in DESIGN.md §2.
     """
 
-    def __init__(self, replica_id: int, system: SystemConfig) -> None:
+    def __init__(
+        self,
+        replica_id: int,
+        system: SystemConfig,
+        memo_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
         self.replica_id = replica_id
         self._root = hashlib.sha256(
             f"hmac-root:{system.seed}:{system.n}".encode()
@@ -82,6 +185,7 @@ class HmacBackend(CryptoBackend):
             i: hashlib.sha256(self._root + i.to_bytes(4, "big")).digest()
             for i in range(system.n)
         }
+        self._verified = VerifiedMemo(memo_capacity)
 
     def _key_for(self, signer: int) -> bytes:
         try:
@@ -95,8 +199,14 @@ class HmacBackend(CryptoBackend):
     def verify(self, signer: int, message: Digest, signature: object) -> bool:
         if not isinstance(signature, bytes) or signer not in self._keys:
             return False
+        key = (signer, message, signature)
+        if key in self._verified:
+            return True
         expected = hmac.new(self._keys[signer], message, hashlib.sha256).digest()
-        return hmac.compare_digest(expected, signature)
+        ok = hmac.compare_digest(expected, signature)
+        if ok:
+            self._verified.add(key)
+        return ok
 
 
 class NullBackend(CryptoBackend):

@@ -76,10 +76,16 @@ class GlobalPerfectCoin(ABC):
         """
         if share.wave in self._revealed:
             return self._revealed[share.wave]
+        bucket = self._shares.get(share.wave)
+        if bucket is not None and share.replica in bucket:
+            # Duplicate (wave, replica): the first copy was verified when
+            # it arrived; re-sent shares cost a dict lookup, not a proof.
+            return None
         if not self.verify_share(share):
             return None
-        bucket = self._shares.setdefault(share.wave, {})
-        bucket.setdefault(share.replica, share)
+        if bucket is None:
+            bucket = self._shares[share.wave] = {}
+        bucket[share.replica] = share
         if len(bucket) >= self.threshold:
             leader = self._combine(share.wave, list(bucket.values()))
             self._revealed[share.wave] = leader

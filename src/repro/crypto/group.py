@@ -3,7 +3,8 @@
 A *Schnorr group* is the order-``q`` subgroup of quadratic residues of
 ``Z_p^*`` where ``p = 2q + 1`` is a safe prime.  Every non-trivial element
 generates the subgroup, discrete logs live in ``Z_q``, and membership is
-cheap to test (``x^q == 1 mod p``).  This single structure backs:
+cheap to test (for a safe prime the subgroup is exactly the quadratic
+residues, so a Jacobi symbol decides it).  This single structure backs:
 
 * Schnorr signatures (:mod:`repro.crypto.schnorr`),
 * the threshold PRF / Global Perfect Coin (:mod:`repro.crypto.threshold`),
@@ -11,15 +12,90 @@ cheap to test (``x^q == 1 mod p``).  This single structure backs:
 
 The group is a value object; all operations take plain ints and return
 plain ints so there is no per-element wrapper overhead in hot loops.
+
+Hot-path machinery
+------------------
+Exponentiation dominates every protocol run (each replica verifies Θ(n²)
+echo-class messages per round), so the group keeps two per-instance caches,
+both derived purely from immutable inputs:
+
+* **Fixed-base tables** — :meth:`register_fixed_base` marks a base (the
+  generator, a replica public key, a coin verification key) as hot; the
+  first exponentiation with it builds an 8-bit comb table, after which
+  ``base^e`` costs ~32 modular multiplications instead of a full modexp.
+  Table construction is lazy, so registering keys for a replica set that
+  never verifies costs nothing.
+* **Membership memo** — registered bases are membership-checked once at
+  registration; :meth:`is_member` answers for them from a set lookup, and
+  for unregistered elements via a binary Jacobi symbol (no modexp at all).
+
+Neither cache participates in equality or hashing — two groups with the
+same ``(p, q, g)`` compare equal regardless of what has been registered.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import CryptoError
 from .hashing import hash_to_int
 from .primes import SAFE_PRIMES, SafePrime
+
+#: Comb window width in bits.  8 divides the scalar into byte-sized digits,
+#: so exponent decomposition is plain shifts/masks; each base's table holds
+#: ``ceil(qbits / 8)`` rows of 255 odd entries (~0.5 MiB for 256-bit p).
+_WINDOW_BITS = 8
+
+
+class _FixedBaseTable:
+    """Comb precomputation for one base: ``rows[j][d] = base^(d << 8j)``."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, base: int, p: int, qbits: int) -> None:
+        windows = (qbits + _WINDOW_BITS - 1) // _WINDOW_BITS
+        rows: List[List[int]] = []
+        b = base
+        for _ in range(windows):
+            row = [1] * 256
+            acc = 1
+            for d in range(1, 256):
+                acc = acc * b % p
+                row[d] = acc
+            rows.append(row)
+            # Advance the window base: b^(256) = b^255 * b.
+            b = acc * b % p
+        self.rows = rows
+
+    def pow(self, e: int, p: int) -> int:
+        """``base^e mod p`` for ``0 <= e < 2^(8 * len(rows))``."""
+        result = 1
+        for row in self.rows:
+            d = e & 0xFF
+            if d:
+                result = result * row[d] % p
+            e >>= 8
+            if not e:
+                break
+        return result
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """The Jacobi symbol ``(a/n)`` for odd ``n > 0`` (binary algorithm)."""
+    a %= n
+    result = 1
+    while a:
+        while not a & 1:
+            a >>= 1
+            r = n & 7
+            if r == 3 or r == 5:
+                result = -result
+        a, n = n, a
+        if a & 3 == 3 and n & 3 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
 
 
 @dataclass(frozen=True)
@@ -29,16 +105,74 @@ class SchnorrGroup:
     p: int
     q: int
     g: int
+    # Hot-path caches; excluded from equality/hash/repr (pure derivations of
+    # the immutable (p, q, g) identity plus registered bases).
+    _tables: Dict[int, Optional[_FixedBaseTable]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _members: Set[int] = field(default_factory=set, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # The generator is hot in every scheme (signing, verification,
+        # DLEQ); always treat it as registered.
+        self._tables.setdefault(self.g, None)
+        self._members.add(self.g)
 
     @classmethod
     def from_safe_prime(cls, sp: SafePrime) -> "SchnorrGroup":
         return cls(p=sp.p, q=sp.q, g=sp.g)
 
+    # -- fixed-base registration --------------------------------------------
+
+    def register_fixed_base(self, base: int) -> None:
+        """Mark ``base`` as hot: memoize its membership and earmark a comb
+        table (built lazily on first use, so registration is ~free).
+
+        Raises :class:`CryptoError` if ``base`` is not a subgroup member —
+        a registered base is trusted by the fast paths, so the check cannot
+        be skipped.
+        """
+        if base in self._tables:
+            return
+        self.ensure_member(base, "fixed base")
+        self._members.add(base)
+        self._tables[base] = None
+
+    def has_fixed_base(self, base: int) -> bool:
+        """Whether ``base`` has been registered for precomputation."""
+        return base in self._tables
+
+    def _table_for(self, base: int) -> Optional[_FixedBaseTable]:
+        table = self._tables.get(base)
+        if table is None and base in self._tables:
+            table = self._tables[base] = _FixedBaseTable(
+                base, self.p, self.q.bit_length()
+            )
+        return table
+
     # -- element operations -------------------------------------------------
 
     def exp(self, base: int, e: int) -> int:
-        """``base ** e mod p`` with the exponent reduced mod ``q``."""
-        return pow(base, e % self.q, self.p)
+        """``base ** e mod p`` with the exponent reduced mod ``q``.
+
+        Negative exponents are welcome — reduction maps them into
+        ``[0, q)``, which is how verifiers compute ``x^{-c}`` without a
+        modular inversion.
+        """
+        return self.exp_reduced(base, e % self.q)
+
+    def exp_reduced(self, base: int, e: int) -> int:
+        """``base ** e mod p`` for an exponent already in ``[0, q)``.
+
+        The fast path for call sites whose scalars are born reduced
+        (challenges, response scalars, Lagrange coefficients) — skipping
+        the redundant ``% q`` of :meth:`exp`.  Uses the comb table when
+        ``base`` is registered.
+        """
+        table = self._table_for(base)
+        if table is not None:
+            return table.pow(e, self.p)
+        return pow(base, e, self.p)
 
     def mul(self, a: int, b: int) -> int:
         """Group multiplication."""
@@ -48,9 +182,64 @@ class SchnorrGroup:
         """Multiplicative inverse in ``Z_p^*``."""
         return pow(a, -1, self.p)
 
+    def multi_exp(self, pairs: Sequence[Tuple[int, int]]) -> int:
+        """``Π base_i^{e_i} mod p`` in one interleaved pass (Shamir's trick).
+
+        Exponents are reduced mod ``q``.  Each base gets a small 4-bit
+        window table, then a single square-and-multiply scan shares all
+        the squarings across every exponent simultaneously — one pass
+        instead of ``k`` full exponentiations plus products.  Intended
+        for small ``k`` (verification equations use k=2); beats ``k``
+        separate modexps because the squaring chain, the dominant cost,
+        is paid once.
+        """
+        p, q = self.p, self.q
+        if not pairs:
+            return 1
+        tables: List[List[int]] = []
+        hex_strings: List[str] = []
+        ndigits = 1
+        for base, e in pairs:
+            base %= p
+            row = [1] * 16
+            acc = 1
+            for d in range(1, 16):
+                acc = acc * base % p
+                row[d] = acc
+            tables.append(row)
+            # Hex digits give the 4-bit windows most-significant first
+            # without per-position big-int shifts.
+            h = "%x" % (e % q)
+            hex_strings.append(h)
+            if len(h) > ndigits:
+                ndigits = len(h)
+        # Scan only as wide as the largest exponent — small-exponent calls
+        # (batch verification's 64-bit coefficients) pay 16 positions, not
+        # the full scalar width.
+        digit_strings = [h.rjust(ndigits, "0") for h in hex_strings]
+        result = 1
+        for pos in range(ndigits):
+            if result != 1:  # skip the leading-zero squaring chain
+                result = result * result % p
+                result = result * result % p
+                result = result * result % p
+                result = result * result % p
+            for row, digits in zip(tables, digit_strings):
+                d = digits[pos]
+                if d != "0":
+                    result = result * row[int(d, 16)] % p
+        return result
+
     def is_member(self, x: int) -> bool:
-        """Subgroup membership test: ``x in (0, p)`` and ``x^q == 1``."""
-        return 0 < x < self.p and pow(x, self.q, self.p) == 1
+        """Subgroup membership test.
+
+        For a safe prime the order-``q`` subgroup is exactly the quadratic
+        residues, so a Jacobi symbol (no modexp) decides membership.
+        Registered bases answer from the memo set without any arithmetic.
+        """
+        if x in self._members:
+            return True
+        return 0 < x < self.p and jacobi_symbol(x, self.p) == 1
 
     # -- scalars and encodings ----------------------------------------------
 
@@ -91,12 +280,21 @@ class SchnorrGroup:
             raise CryptoError(f"{what} {x!r} is not a member of the Schnorr group")
         return x
 
+    def register_fixed_bases(self, bases: Iterable[int]) -> None:
+        """Bulk :meth:`register_fixed_base` convenience."""
+        for base in bases:
+            self.register_fixed_base(base)
+
 
 _DEFAULT_CACHE: dict[int, SchnorrGroup] = {}
 
 
 def default_group(bits: int = 256) -> SchnorrGroup:
-    """The library-wide default group for the given modulus size."""
+    """The library-wide default group for the given modulus size.
+
+    A process-wide singleton per modulus size — which is what lets every
+    replica of a deterministic deal share one set of fixed-base tables.
+    """
     if bits not in _DEFAULT_CACHE:
         try:
             sp = SAFE_PRIMES[bits]

@@ -99,8 +99,16 @@ class TrustedDealer:
             master_secret, self.coin_threshold, self.system.n, group.q, rng
         )
         verification_keys = {
-            share.x - 1: group.exp(group.g, share.y) for share in shares
+            share.x - 1: group.exp_reduced(group.g, share.y) for share in shares
         }
+
+        # Public keys and coin verification keys are the hot verification
+        # bases for the whole run; registration earmarks fixed-base comb
+        # tables (built lazily) and memoizes subgroup membership.  The
+        # group is a process-wide singleton and key derivation is
+        # deterministic per seed, so repeated deals are no-ops.
+        group.register_fixed_bases(public_keys.values())
+        group.register_fixed_bases(verification_keys.values())
 
         return [
             KeyChain(

@@ -1,0 +1,56 @@
+"""Bounded verify-once memo caches.
+
+Both signature backends and the threshold PRF face the same intake
+pattern: the broadcast fan-out and §IV-A retrieval re-deliver the *same*
+signed object many times (duplicate VALs, chunked retrieval responses,
+re-broadcast Byzantine proofs, re-sent coin shares).  Re-running a modexp
+chain for bytes already verified is pure waste, so verifiers remember what
+they have accepted.
+
+Two rules keep the cache from ever changing verification *semantics*:
+
+* **Positive results only.**  A forged signature is re-checked (and
+  re-rejected) every time it shows up; nothing an adversary sends can park
+  a "False" in the cache and nothing can flip a rejection to acceptance.
+* **The full claim is the key.**  A key covers signer identity, message
+  digest, and the complete signature object, so a hit can never cross
+  signers, messages, or signature bytes — the exact triple was verified.
+
+Capacity is bounded (FIFO eviction); an eviction merely costs a future
+re-verification, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+#: Default number of verified claims remembered per verifier.
+DEFAULT_CAPACITY = 8192
+
+
+class VerifiedMemo:
+    """Fixed-capacity set of verified claims with FIFO eviction."""
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"memo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        # dict preserves insertion order => next(iter(...)) is the oldest.
+        self._entries: dict = {}
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, key: Hashable) -> None:
+        """Record a *successfully verified* claim."""
+        entries = self._entries
+        if key in entries:
+            return
+        if len(entries) >= self.capacity:
+            del entries[next(iter(entries))]
+        entries[key] = None

@@ -28,7 +28,11 @@ from typing import Iterable, Mapping
 from ..errors import ThresholdError
 from .group import SchnorrGroup
 from .hashing import Digest, hash_to_int
+from .memo import VerifiedMemo
 from .shamir import ShamirShare, lagrange_at_zero
+
+#: Bound on the per-PRF caches (input elements and verified partials).
+_PRF_CACHE_CAPACITY = 4096
 
 #: Modeled wire size of a partial evaluation (element + DLEQ proof).
 PARTIAL_EVAL_SIZE = 32 + 64
@@ -65,11 +69,14 @@ def dleq_prove(
     Returns ``(h1, h2, proof)``.  The nonce is derived deterministically
     from the witness and bases, mirroring the signature scheme.
     """
-    h1 = group.exp(g1, exponent)
-    h2 = group.exp(g2, exponent)
+    # Reduce the witness once; the nonce is born reduced (hash scalars
+    # live in [1, q)), so the reduced-exponent entry point applies.
+    x = exponent % group.q
+    h1 = group.exp_reduced(g1, x)
+    h2 = group.exp_reduced(g2, x)
     k = group.scalar_from_hash("dleq-k", exponent, g1, g2)
-    a1 = group.exp(g1, k)
-    a2 = group.exp(g2, k)
+    a1 = group.exp_reduced(g1, k)
+    a2 = group.exp_reduced(g2, k)
     c = _dleq_challenge(group, g1, h1, g2, h2, a1, a2)
     s = (k + c * exponent) % group.q
     return h1, h2, DleqProof(c=c, s=s)
@@ -78,13 +85,23 @@ def dleq_prove(
 def dleq_verify(
     group: SchnorrGroup, g1: int, h1: int, g2: int, h2: int, proof: DleqProof
 ) -> bool:
-    """Verify a Chaum-Pedersen DLEQ proof."""
+    """Verify a Chaum-Pedersen DLEQ proof.
+
+    Inversion-free: ``x^{-c}`` is computed as ``x^{q-c}``.  In the coin
+    path ``g1`` is the generator and ``h1`` a dealer-registered
+    verification key, so the first commitment runs entirely off fixed-base
+    tables; the second pair varies per input and uses one interleaved
+    Shamir multi-exponentiation instead of two modexps plus an inversion.
+    """
     if not (0 < proof.c < group.q and 0 <= proof.s < group.q):
         return False
     if not (group.is_member(h1) and group.is_member(h2)):
         return False
-    a1 = group.mul(group.exp(g1, proof.s), group.inv(group.exp(h1, proof.c)))
-    a2 = group.mul(group.exp(g2, proof.s), group.inv(group.exp(h2, proof.c)))
+    neg_c = group.q - proof.c
+    a1 = group.mul(
+        group.exp_reduced(g1, proof.s), group.exp_reduced(h1, neg_c)
+    )
+    a2 = group.multi_exp(((g2, proof.s), (h2, neg_c)))
     return _dleq_challenge(group, g1, h1, g2, h2, a1, a2) == proof.c
 
 
@@ -117,10 +134,27 @@ class ThresholdPRF:
         self.threshold = threshold
         self.share = share
         self.verification_keys = dict(verification_keys)
+        # Verification keys are hot DLEQ bases (one a1 term per share
+        # verified); registration also memoizes their membership.
+        group.register_fixed_bases(self.verification_keys.values())
+        #: message digest -> hash_to_group output (every partial for one
+        #: wave shares the same input element; hashing it once per wave
+        #: instead of once per share).
+        self._input_elements: dict = {}
+        #: verify-once memo over full (index, message, value, proof) claims
+        #: — positive results only (see repro.crypto.memo).
+        self._verified = VerifiedMemo(_PRF_CACHE_CAPACITY)
 
     def input_element(self, message: Digest) -> int:
         """The group element ``h = H(m)`` every partial is computed on."""
-        return self.group.hash_to_group("tprf-in", message)
+        element = self._input_elements.get(message)
+        if element is None:
+            if len(self._input_elements) >= _PRF_CACHE_CAPACITY:
+                self._input_elements.clear()
+            element = self._input_elements[message] = self.group.hash_to_group(
+                "tprf-in", message
+            )
+        return element
 
     def partial_eval(self, message: Digest) -> PartialEval:
         """This replica's verified partial evaluation on ``message``."""
@@ -131,12 +165,25 @@ class ThresholdPRF:
         return PartialEval(index=self.share.x - 1, value=value, proof=proof)
 
     def verify_partial(self, message: Digest, partial: PartialEval) -> bool:
-        """Check a partial's DLEQ proof against its verification key."""
+        """Check a partial's DLEQ proof against its verification key.
+
+        Memoized per full claim: a partial accepted at intake costs a set
+        lookup when :meth:`combine` re-checks it (or when a peer re-sends
+        it); rejections are always re-derived.
+        """
         vk = self.verification_keys.get(partial.index)
         if vk is None:
             return False
+        key = (partial.index, message, partial.value, partial.proof)
+        if key in self._verified:
+            return True
         h = self.input_element(message)
-        return dleq_verify(self.group, self.group.g, vk, h, partial.value, partial.proof)
+        ok = dleq_verify(
+            self.group, self.group.g, vk, h, partial.value, partial.proof
+        )
+        if ok:
+            self._verified.add(key)
+        return ok
 
     def combine(self, message: Digest, partials: Iterable[PartialEval]) -> int:
         """Combine ``threshold`` partials into ``F(m) = h^s`` (verifying each)."""
@@ -157,11 +204,13 @@ class ThresholdPRF:
                     f"DLEQ verification"
                 )
         points = [p.index + 1 for p in selected.values()]
+        # Lagrange coefficients come out of lagrange_at_zero already
+        # reduced mod q — no second reduction needed.
         lam = lagrange_at_zero(points, self.group.q)
         result = 1
         for partial in selected.values():
             result = self.group.mul(
-                result, self.group.exp(partial.value, lam[partial.index + 1])
+                result, self.group.exp_reduced(partial.value, lam[partial.index + 1])
             )
         return result
 

@@ -112,14 +112,24 @@ class Block:
         return self.round == GENESIS_ROUND
 
     def wire_size(self) -> int:
-        """Modeled encoded size (see :mod:`repro.net.sizes`)."""
-        return sizes.block_wire_size(
-            num_parents=len(self.parents),
-            num_txs=self.payload.count,
-            tx_size=self.payload.tx_size,
-            num_proofs=len(self.byz_proofs),
-            num_determinations=len(self.determinations),
-        )
+        """Modeled encoded size (see :mod:`repro.net.sizes`).
+
+        Memoized on the instance: a block's size is consulted once per
+        recipient per hop (VAL fan-out, retrieval responses, proof
+        messages), and the block is frozen so the value can never go
+        stale.
+        """
+        size = self.__dict__.get("_wire_size")
+        if size is None:
+            size = sizes.block_wire_size(
+                num_parents=len(self.parents),
+                num_txs=self.payload.count,
+                tx_size=self.payload.tx_size,
+                num_proofs=len(self.byz_proofs),
+                num_determinations=len(self.determinations),
+            )
+            object.__setattr__(self, "_wire_size", size)
+        return size
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -77,12 +77,18 @@ def scalability_sweep(
     batch_size: int = 400,
     duration: float = 20.0,
     seed: int = 0,
+    crypto: str = "hmac",
 ) -> List[ExperimentResult]:
     """Fig. 13: throughput (a) and latency (b) as the replica set grows.
 
     The horizon scales with ``n``: at n=61 an RBC wave takes seconds (the
     Θ(n²) per-node CPU load), and the measurement window must hold several
     multiples of the commit latency to be meaningful.
+
+    ``crypto`` selects the signing backend; ``"schnorr"`` makes the sweep
+    exercise the real signature/coin hot path (the configuration the
+    crypto micro-optimizations are benchmarked against), at the price of
+    wall-clock.
     """
     results = []
     for protocol in protocols:
@@ -90,7 +96,10 @@ def scalability_sweep(
             scaled = duration * max(1.0, n / 22)
             results.append(
                 run_experiment(
-                    _base_config(protocol, n, batch_size, duration=scaled, seed=seed)
+                    _base_config(
+                        protocol, n, batch_size,
+                        duration=scaled, seed=seed, crypto=crypto,
+                    )
                 )
             )
     return results

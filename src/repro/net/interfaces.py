@@ -35,6 +35,31 @@ class Message(ABC):
         """Modeled encoded size in bytes."""
 
 
+class SizedMessage(Message):
+    """A message whose wire size is computed once and then memoized.
+
+    The simulator consults :meth:`wire_size` per *delivery* (Θ(n²) per
+    round for echo-class traffic), so recomputing a size that walks the
+    payload — blocks, retrieval responses — would dominate.  Subclasses
+    implement :meth:`_compute_wire_size`; the first call stores the result
+    on the instance.  Invalidation is impossible by construction: message
+    dataclasses are frozen, so the size can never go stale.
+    """
+
+    def wire_size(self) -> int:
+        size = self.__dict__.get("_wire_size")
+        if size is None:
+            size = self._compute_wire_size()
+            # Frozen dataclasses block normal attribute assignment; the
+            # cache is not a field, so write it directly.
+            object.__setattr__(self, "_wire_size", size)
+        return size
+
+    @abstractmethod
+    def _compute_wire_size(self) -> int:
+        """Compute the modeled encoded size (called at most once)."""
+
+
 class NetworkAPI(ABC):
     """What a protocol node may do to the outside world."""
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..codec.messages import decode_message, encode_message
+from ..codec.messages import decode_message, encoded_wire_bytes
 from ..codec.primitives import CodecError
 from ..errors import NetworkError
 from .interfaces import Message, NetworkAPI, Node, NodeFactory
@@ -41,6 +41,24 @@ def _encode_frame(body: bytes) -> bytes:
         if not length:
             break
     return bytes(out) + body
+
+
+def _frame_for(msg: Message) -> bytes:
+    """Complete framed encoding of a message, memoized on the instance.
+
+    A broadcast writes the identical frame to every peer connection;
+    encoding *and* length-prefixing once per message (instead of once per
+    recipient) is the transport half of the encode-once fan-out.  Frozen
+    messages make the memo permanently valid.
+    """
+    try:
+        cached = msg.__dict__.get("_wire_frame")
+    except AttributeError:
+        return _encode_frame(encoded_wire_bytes(msg))
+    if cached is None:
+        cached = _encode_frame(encoded_wire_bytes(msg))
+        object.__setattr__(msg, "_wire_frame", cached)
+    return cached
 
 
 async def _read_frame(reader: asyncio.StreamReader) -> bytes:
@@ -143,7 +161,7 @@ class TcpCluster:
         writer = self._writers.get((src, dst))
         if writer is None:
             raise NetworkError(f"no connection {src} -> {dst}")
-        frame = _encode_frame(encode_message(msg))
+        frame = _frame_for(msg)
         self.frames_sent += 1
         writer.write(frame)
         # Backpressure: sends are fire-and-forget (protocol handlers are

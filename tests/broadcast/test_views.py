@@ -1,0 +1,61 @@
+"""Tests for the copy-free echoer views returned by ``echoers_of``."""
+
+import pytest
+
+from repro.broadcast.base import EMPTY_SET_VIEW, InstanceTracker, SetView
+from repro.crypto.hashing import hash_fields
+
+DIGEST = hash_fields("view-digest")
+
+
+def tracker_with_echoers(*replicas):
+    tracker = InstanceTracker(on_deliver=lambda block: None)
+    tracker.state(DIGEST).echoers.update(replicas)
+    return tracker
+
+
+class TestSetView:
+    def test_behaves_like_a_set(self):
+        view = SetView({1, 2, 3})
+        assert 2 in view and 9 not in view
+        assert len(view) == 3
+        assert sorted(view) == [1, 2, 3]
+
+    def test_set_algebra_via_abc(self):
+        view = SetView({1, 2, 3})
+        assert view & {2, 3, 4} == {2, 3}
+        assert view | {4} == {1, 2, 3, 4}
+        assert view <= {1, 2, 3, 4}
+
+    def test_no_mutators(self):
+        view = SetView({1})
+        for name in ("add", "discard", "remove", "clear", "update", "pop"):
+            assert not hasattr(view, name)
+
+    def test_live_not_a_copy(self):
+        target = {1}
+        view = SetView(target)
+        target.add(2)
+        assert 2 in view and len(view) == 2
+
+
+class TestEchoersOf:
+    def test_unknown_digest_is_shared_empty_view(self):
+        tracker = InstanceTracker(on_deliver=lambda block: None)
+        view = tracker.echoers_of(DIGEST)
+        assert view is EMPTY_SET_VIEW
+        assert len(view) == 0
+
+    def test_view_reflects_later_echoes(self):
+        tracker = tracker_with_echoers(0, 1)
+        view = tracker.echoers_of(DIGEST)
+        assert set(view) == {0, 1}
+        tracker.state(DIGEST).echoers.add(2)
+        assert set(view) == {0, 1, 2}
+
+    def test_view_is_read_only(self):
+        tracker = tracker_with_echoers(0)
+        view = tracker.echoers_of(DIGEST)
+        with pytest.raises(AttributeError):
+            view.add(7)  # type: ignore[attr-defined]
+        assert set(tracker.state(DIGEST).echoers) == {0}

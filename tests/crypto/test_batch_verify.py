@@ -1,0 +1,256 @@
+"""Property tests for batch signature verification and the verify memos.
+
+The three guarantees the hot-path overhaul must not bend:
+
+* ``verify_batch`` accepts exactly when every individual verify accepts;
+* bisection (``schnorr_batch_invalid`` / ``invalid_in_batch``) pinpoints
+  *exactly* the forged entries — Byzantine attribution is unchanged;
+* the verify-once memo never caches a negative result and never answers
+  across signers, messages, or signature bytes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.crypto.backend import SchnorrBackend
+from repro.crypto.group import default_group
+from repro.crypto.hashing import hash_fields
+from repro.crypto.keys import TrustedDealer
+from repro.crypto.memo import VerifiedMemo
+from repro.crypto.schnorr import (
+    SchnorrSignature,
+    schnorr_batch_invalid,
+    schnorr_sign,
+    schnorr_verify,
+    schnorr_verify_batch,
+)
+
+N = 7
+GROUP = default_group(256)
+CHAINS = TrustedDealer(SystemConfig(n=N, crypto="schnorr", seed=3)).deal()
+KEYPAIRS = [chain.keypair for chain in CHAINS]
+
+
+def _claims(count: int, label: str = "batch"):
+    """(pk, digest, signature) claims signed by round-robin replicas."""
+    out = []
+    for i in range(count):
+        kp = KEYPAIRS[i % N]
+        digest = hash_fields(label, i)
+        out.append((kp.pk, digest, schnorr_sign(GROUP, kp, digest)))
+    return out
+
+
+def _forge(claim):
+    pk, digest, sig = claim
+    return (pk, digest, SchnorrSignature(R=sig.R, s=(sig.s + 1) % GROUP.q))
+
+
+class TestBatchAgainstIndividual:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        count=st.integers(min_value=0, max_value=12),
+        forged=st.sets(st.integers(min_value=0, max_value=11)),
+    )
+    def test_accepts_iff_every_individual_accepts(self, count, forged):
+        claims = _claims(count)
+        for i in sorted(forged):
+            if i < count:
+                claims[i] = _forge(claims[i])
+        individual = all(schnorr_verify(GROUP, *c) for c in claims)
+        assert schnorr_verify_batch(GROUP, claims) == individual
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=12),
+        forged=st.sets(st.integers(min_value=0, max_value=11)),
+    )
+    def test_bisection_pinpoints_exactly_the_forged(self, count, forged):
+        claims = _claims(count, "bisect")
+        expected = sorted(i for i in forged if i < count)
+        for i in expected:
+            claims[i] = _forge(claims[i])
+        assert schnorr_batch_invalid(GROUP, claims) == expected
+
+    def test_empty_batch_is_vacuously_valid(self):
+        assert schnorr_verify_batch(GROUP, [])
+        assert schnorr_batch_invalid(GROUP, []) == []
+
+    def test_repeated_signer_batches(self):
+        kp = KEYPAIRS[0]
+        claims = []
+        for i in range(6):
+            digest = hash_fields("same-signer", i)
+            claims.append((kp.pk, digest, schnorr_sign(GROUP, kp, digest)))
+        assert schnorr_verify_batch(GROUP, claims)
+        claims[4] = _forge(claims[4])
+        assert not schnorr_verify_batch(GROUP, claims)
+        assert schnorr_batch_invalid(GROUP, claims) == [4]
+
+
+class TestBackendBatch:
+    def _backend(self):
+        return SchnorrBackend(CHAINS[0])
+
+    def _items(self, count, label="items"):
+        out = []
+        for i in range(count):
+            signer = i % N
+            digest = hash_fields(label, i)
+            sig = schnorr_sign(GROUP, KEYPAIRS[signer], digest)
+            out.append((signer, digest, sig))
+        return out
+
+    def test_verify_batch_true_seeds_memo(self):
+        backend = self._backend()
+        items = self._items(8)
+        assert backend.verify_batch(items)
+        for signer, digest, sig in items:
+            assert (signer, digest, sig) in backend._verified
+
+    def test_verify_batch_false_on_any_forgery(self):
+        backend = self._backend()
+        items = self._items(8, "forged")
+        signer, digest, sig = items[2]
+        items[2] = (signer, digest, SchnorrSignature(R=sig.R, s=(sig.s + 3) % GROUP.q))
+        assert not backend.verify_batch(items)
+        # The forged claim must not be cached.
+        assert (items[2][0], items[2][1], items[2][2]) not in backend._verified
+
+    def test_invalid_in_batch_matches_individual_sweep(self):
+        backend = self._backend()
+        items = self._items(9, "sweep")
+        signer, digest, sig = items[1]
+        items[1] = (signer, digest, SchnorrSignature(R=sig.R, s=(sig.s + 1) % GROUP.q))
+        items[5] = (99, items[5][1], items[5][2])  # unknown signer
+        items[7] = (items[7][0], items[7][1], b"mac-bytes")  # wrong type
+        reference = SchnorrBackend(CHAINS[1])
+        expected = [
+            i for i, it in enumerate(items) if not reference.verify(*it)
+        ]
+        assert backend.invalid_in_batch(items) == expected == [1, 5, 7]
+
+    def test_batch_with_all_items_cached_short_circuits(self):
+        backend = self._backend()
+        items = self._items(5, "cached")
+        assert backend.verify_batch(items)
+        # Second call: everything is memoized; still True.
+        assert backend.verify_batch(items)
+
+
+class TestVerifyOnceMemoSafety:
+    def test_negative_results_never_cached(self):
+        backend = SchnorrBackend(CHAINS[0])
+        digest = hash_fields("neg")
+        sig = schnorr_sign(GROUP, KEYPAIRS[1], digest)
+        bad = SchnorrSignature(R=sig.R, s=(sig.s + 1) % GROUP.q)
+        for _ in range(3):
+            assert not backend.verify(1, digest, bad)
+        assert len(backend._verified) == 0
+
+    def test_hit_requires_exact_signer(self):
+        backend = SchnorrBackend(CHAINS[0])
+        digest = hash_fields("cross-signer")
+        sig = schnorr_sign(GROUP, KEYPAIRS[1], digest)
+        assert backend.verify(1, digest, sig)
+        # Same digest+signature claimed by a different signer: a fresh
+        # verification (which fails) — never a cache hit.
+        assert not backend.verify(2, digest, sig)
+
+    def test_hit_requires_exact_message_and_signature(self):
+        backend = SchnorrBackend(CHAINS[0])
+        digest = hash_fields("exact")
+        sig = schnorr_sign(GROUP, KEYPAIRS[1], digest)
+        assert backend.verify(1, digest, sig)
+        assert not backend.verify(1, hash_fields("other"), sig)
+        assert not backend.verify(
+            1, digest, SchnorrSignature(R=sig.R, s=(sig.s + 1) % GROUP.q)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(tamper=st.integers(min_value=1, max_value=2**31))
+    def test_memo_never_flips_a_rejection(self, tamper):
+        backend = SchnorrBackend(CHAINS[0])
+        digest = hash_fields("flip")
+        sig = schnorr_sign(GROUP, KEYPAIRS[1], digest)
+        assert backend.verify(1, digest, sig)  # cache the genuine claim
+        bad = SchnorrSignature(R=sig.R, s=(sig.s + tamper) % GROUP.q)
+        if bad != sig:
+            assert not backend.verify(1, digest, bad)
+
+    def test_memo_capacity_bounds_and_fifo_eviction(self):
+        memo = VerifiedMemo(capacity=3)
+        for key in ("a", "b", "c"):
+            memo.add(key)
+        assert len(memo) == 3
+        memo.add("d")  # evicts "a"
+        assert len(memo) == 3
+        assert "a" not in memo and "d" in memo and "b" in memo
+
+    def test_memo_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            VerifiedMemo(capacity=0)
+
+    def test_eviction_only_costs_a_reverify(self):
+        backend = SchnorrBackend(CHAINS[0], memo_capacity=2)
+        digests = [hash_fields("evict", i) for i in range(4)]
+        sigs = [schnorr_sign(GROUP, KEYPAIRS[1], d) for d in digests]
+        for d, s in zip(digests, sigs):
+            assert backend.verify(1, d, s)
+        # The oldest claims were evicted; they still verify (slow path).
+        for d, s in zip(digests, sigs):
+            assert backend.verify(1, d, s)
+
+
+class TestCoinDedupBeforeVerify:
+    def test_duplicate_share_skips_verification(self, monkeypatch):
+        from repro.crypto.coin import ThresholdCoin
+
+        coins = [ThresholdCoin(chain) for chain in CHAINS]
+        share = coins[1].make_share(7)
+        calls = []
+        real_verify = ThresholdCoin.verify_share
+
+        def counting_verify(self, s):
+            calls.append(1)
+            return real_verify(self, s)
+
+        monkeypatch.setattr(ThresholdCoin, "verify_share", counting_verify)
+        coins[0].add_share(share)
+        assert len(calls) == 1
+        coins[0].add_share(share)  # duplicate: dict lookup, no DLEQ check
+        assert len(calls) == 1
+
+
+class TestThresholdVerifyMemo:
+    def test_verify_partial_memoized_positive_only(self):
+        from repro.crypto.coin import ThresholdCoin
+
+        coins = [ThresholdCoin(chain) for chain in CHAINS]
+        share = coins[1].make_share(4)
+        prf = coins[0].prf
+        message = coins[0]._coin_input(4)
+        assert prf.verify_partial(message, share.payload)
+        key = (
+            share.payload.index,
+            message,
+            share.payload.value,
+            share.payload.proof,
+        )
+        assert key in prf._verified
+        # A tampered proof is rejected and stays out of the memo.
+        from repro.crypto.threshold import DleqProof, PartialEval
+
+        forged = PartialEval(
+            index=share.payload.index,
+            value=share.payload.value,
+            proof=DleqProof(
+                c=share.payload.proof.c,
+                s=(share.payload.proof.s + 1) % GROUP.q,
+            ),
+        )
+        before = len(prf._verified)
+        assert not prf.verify_partial(message, forged)
+        assert len(prf._verified) == before

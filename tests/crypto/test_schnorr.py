@@ -52,23 +52,30 @@ class TestSignVerify:
         sig = schnorr_sign(group, keypair, msg)
         assert not schnorr_verify(group, other.pk, msg, sig)
 
-    def test_tampered_c_rejected(self, group, keypair):
+    def test_tampered_commitment_rejected(self, group, keypair):
         msg = hash_fields("m")
         sig = schnorr_sign(group, keypair, msg)
-        bad = SchnorrSignature(c=(sig.c + 1) % group.q, s=sig.s)
+        bad = SchnorrSignature(R=group.mul(sig.R, group.g), s=sig.s)
         assert not schnorr_verify(group, keypair.pk, msg, bad)
 
     def test_tampered_s_rejected(self, group, keypair):
         msg = hash_fields("m")
         sig = schnorr_sign(group, keypair, msg)
-        bad = SchnorrSignature(c=sig.c, s=(sig.s + 1) % group.q)
+        bad = SchnorrSignature(R=sig.R, s=(sig.s + 1) % group.q)
         assert not schnorr_verify(group, keypair.pk, msg, bad)
 
-    def test_out_of_range_scalars_rejected(self, group, keypair):
+    def test_out_of_range_values_rejected(self, group, keypair):
         msg = hash_fields("m")
+        sig = schnorr_sign(group, keypair, msg)
         assert not schnorr_verify(group, keypair.pk, msg, SchnorrSignature(0, 0))
         assert not schnorr_verify(
-            group, keypair.pk, msg, SchnorrSignature(group.q, 1)
+            group, keypair.pk, msg, SchnorrSignature(R=group.p, s=sig.s)
+        )
+        assert not schnorr_verify(
+            group, keypair.pk, msg, SchnorrSignature(R=sig.R, s=group.q)
+        )
+        assert not schnorr_verify(
+            group, keypair.pk, msg, SchnorrSignature(R=sig.R, s=-1)
         )
 
     def test_invalid_pk_rejected(self, group, keypair):
