@@ -37,8 +37,11 @@ class SetView(AbstractSet):
     is Θ(n) garbage per query.  The view supports membership, iteration,
     length, and the standard set algebra via :class:`collections.abc.Set`,
     but exposes no mutators — callers cannot corrupt broadcast state.  It
-    is *live*: it reflects later echoes, which is exactly what a retrying
-    retriever wants.
+    is *live*: membership and length reflect later echoes, which is
+    exactly what a retrying retriever wants.  Iteration snapshots the
+    target when it starts, so a caller that holds the view while echoes
+    arrive iterates a consistent point-in-time set rather than raising
+    ``set changed size during iteration``.
     """
 
     __slots__ = ("_target",)
@@ -50,7 +53,10 @@ class SetView(AbstractSet):
         return item in self._target
 
     def __iter__(self) -> Iterator:
-        return iter(self._target)
+        # Iteration is Θ(n) regardless; the tuple snapshot only adds a
+        # constant factor while making held views safe to iterate across
+        # mutations of the underlying echoer set.
+        return iter(tuple(self._target))
 
     def __len__(self) -> int:
         return len(self._target)
@@ -136,6 +142,9 @@ class InstanceTracker:
         """Replicas that echoed a digest — retrieval fallback targets: they
         are guaranteed (if non-faulty) to hold the body and its ancestors.
 
-        Returns a live read-only :class:`SetView` (no per-call copy)."""
+        Returns a live read-only :class:`SetView` (no per-call copy):
+        membership/length track echoes as they arrive, and iteration
+        snapshots at its start, so the view is safe to hold across
+        message processing."""
         inst = self._instances.get(digest)
         return SetView(inst.echoers) if inst else EMPTY_SET_VIEW

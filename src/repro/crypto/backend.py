@@ -43,10 +43,10 @@ from .memo import DEFAULT_CAPACITY, VerifiedMemo
 from .schnorr import (
     SIGNATURE_SIZE,
     SchnorrSignature,
+    schnorr_batch_equation,
     schnorr_batch_invalid,
     schnorr_sign,
     schnorr_verify,
-    schnorr_verify_batch,
 )
 
 #: One batch-verification claim: (signer id, message digest, signature).
@@ -115,31 +115,48 @@ class SchnorrBackend(CryptoBackend):
 
     def _split_batch(
         self, items: Sequence[VerifyItem]
-    ) -> "tuple[list[tuple[int, tuple]], bool]":
-        """(unverified well-formed claims with their original index, all
-        claims well-formed?).  Malformed = unknown signer or non-Schnorr
-        signature object — rejected without any group arithmetic."""
+    ) -> "tuple[list[tuple[int, tuple]], list[int]]":
+        """(unverified plausible claims with their original index, indices
+        of claims rejected outright).  Rejected outright = unknown signer,
+        non-Schnorr signature object, out-of-range scalars, or a commitment
+        outside the order-q subgroup — all caught without a single modexp
+        (membership is a Jacobi symbol), so a malformed claim never reaches
+        the batch equation or the verify-once memo.  The commitment check
+        mirrors :func:`schnorr_verify_batch`'s precheck: paired non-residue
+        commitments would otherwise cancel in the combined equation."""
         pending: list = []
-        well_formed = True
+        rejected: list = []
+        group = self.group
+        p, q = group.p, group.q
         public_keys = self.keychain.public_keys
         for i, (signer, message, signature) in enumerate(items):
             if not isinstance(signature, SchnorrSignature):
-                well_formed = False
+                rejected.append(i)
                 continue
             pk = public_keys.get(signer)
             if pk is None:
-                well_formed = False
+                rejected.append(i)
+                continue
+            if not (
+                0 < signature.R < p
+                and 0 <= signature.s < q
+                and group.is_member(signature.R)
+            ):
+                rejected.append(i)
                 continue
             if (signer, message, signature) in self._verified:
                 continue
             pending.append((i, (pk, message, signature)))
-        return pending, well_formed
+        return pending, rejected
 
     def verify_batch(self, items: Sequence[VerifyItem]) -> bool:
-        pending, well_formed = self._split_batch(items)
-        if not well_formed:
+        pending, rejected = self._split_batch(items)
+        if rejected:
             return False
-        if not schnorr_verify_batch(self.group, [claim for _, claim in pending]):
+        # _split_batch already range- and membership-checked every pending
+        # claim (and pks come from the dealt keychain), so the equation-only
+        # entry point applies — no second Jacobi pass per commitment.
+        if not schnorr_batch_equation(self.group, [claim for _, claim in pending]):
             return False
         for i, _claim in pending:
             signer, message, signature = items[i]
@@ -147,14 +164,14 @@ class SchnorrBackend(CryptoBackend):
         return True
 
     def invalid_in_batch(self, items: Sequence[VerifyItem]) -> List[int]:
-        pending, _ = self._split_batch(items)
-        bad = {pending[j][0] for j in
-               schnorr_batch_invalid(self.group, [claim for _, claim in pending])}
-        # Malformed claims (skipped by _split_batch) are invalid too.
-        public_keys = self.keychain.public_keys
-        for i, (signer, _message, signature) in enumerate(items):
-            if not isinstance(signature, SchnorrSignature) or signer not in public_keys:
-                bad.add(i)
+        pending, rejected = self._split_batch(items)
+        bad = set(rejected)
+        bad.update(
+            pending[j][0]
+            for j in schnorr_batch_invalid(
+                self.group, [claim for _, claim in pending]
+            )
+        )
         for i, _claim in pending:
             if i not in bad:
                 signer, message, signature = items[i]

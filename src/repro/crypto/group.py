@@ -24,7 +24,9 @@ both derived purely from immutable inputs:
   first exponentiation with it builds an 8-bit comb table, after which
   ``base^e`` costs ~32 modular multiplications instead of a full modexp.
   Table construction is lazy, so registering keys for a replica set that
-  never verifies costs nothing.
+  never verifies costs nothing, and the number of *built* tables is
+  capped (further bases silently fall back to ``pow``) so large-n sweeps
+  cannot pin unbounded memory on the process-wide singleton group.
 * **Membership memo** — registered bases are membership-checked once at
   registration; :meth:`is_member` answers for them from a set lookup, and
   for unregistered elements via a binary Jacobi symbol (no modexp at all).
@@ -46,6 +48,15 @@ from .primes import SAFE_PRIMES, SafePrime
 #: so exponent decomposition is plain shifts/masks; each base's table holds
 #: ``ceil(qbits / 8)`` rows of 255 odd entries (~0.5 MiB for 256-bit p).
 _WINDOW_BITS = 8
+
+#: Cap on lazily *built* comb tables per group instance.  Registration is
+#: unbounded (it only memoizes membership), but each built table pins
+#: ~0.5 MiB for the life of the group — and ``default_group`` is a
+#: process-wide singleton, so a large-n sweep (n=61 registers ~120 keys)
+#: could otherwise accumulate tens of MiB that are never evicted.  Bases
+#: past the cap fall back to ``pow`` — a speed trade, never correctness;
+#: lazy construction means the cap is spent on the bases actually used.
+_MAX_BUILT_TABLES = 96
 
 
 class _FixedBaseTable:
@@ -82,19 +93,25 @@ class _FixedBaseTable:
 
 
 def jacobi_symbol(a: int, n: int) -> int:
-    """The Jacobi symbol ``(a/n)`` for odd ``n > 0`` (binary algorithm)."""
+    """The Jacobi symbol ``(a/n)`` for odd ``n > 0`` (binary algorithm).
+
+    Sits on the batch-verification precheck (one call per commitment), so
+    the loop is tuned: all trailing zeros are stripped in one shift
+    (``a & -a`` isolates the lowest set bit) — the factor-of-2 sign only
+    depends on the *parity* of the zero count — and the reciprocity swap
+    and reduction are fused into one statement.
+    """
     a %= n
     result = 1
     while a:
-        while not a & 1:
-            a >>= 1
-            r = n & 7
-            if r == 3 or r == 5:
+        tz = (a & -a).bit_length() - 1
+        if tz:
+            a >>= tz
+            if tz & 1 and n & 7 in (3, 5):
                 result = -result
-        a, n = n, a
         if a & 3 == 3 and n & 3 == 3:
             result = -result
-        a %= n
+        a, n = n % a, a
     return result if n == 1 else 0
 
 
@@ -111,6 +128,9 @@ class SchnorrGroup:
         default_factory=dict, compare=False, repr=False
     )
     _members: Set[int] = field(default_factory=set, compare=False, repr=False)
+    # Bases whose comb table has actually been built; bounds memory at
+    # ``_MAX_BUILT_TABLES`` tables regardless of how many are registered.
+    _built: Set[int] = field(default_factory=set, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         # The generator is hot in every scheme (signing, verification,
@@ -145,9 +165,12 @@ class SchnorrGroup:
     def _table_for(self, base: int) -> Optional[_FixedBaseTable]:
         table = self._tables.get(base)
         if table is None and base in self._tables:
+            if len(self._built) >= _MAX_BUILT_TABLES:
+                return None  # over budget: plain pow for this base
             table = self._tables[base] = _FixedBaseTable(
                 base, self.p, self.q.bit_length()
             )
+            self._built.add(base)
         return table
 
     # -- element operations -------------------------------------------------

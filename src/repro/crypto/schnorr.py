@@ -35,6 +35,13 @@ deterministic and denies the adversary any influence after the fact.  On
 rejection, :func:`schnorr_batch_invalid` bisects to the exact forged
 entries, so a Byzantine replica is attributed just as under one-by-one
 verification.
+
+The soundness argument requires every ``R_i`` to lie in the order-``q``
+subgroup — the equation only sees the product of the commitments, so the
+small-order component of, say, paired ``R_i = -g^{k_i}`` commitments
+cancels.  The batch therefore subgroup-checks each ``R_i`` (a Jacobi
+symbol, no modexp) before the combined equation; single verification
+needs no such check because its equation pins ``R`` directly.
 """
 
 from __future__ import annotations
@@ -131,6 +138,41 @@ def _batch_coefficients(
     ]
 
 
+def schnorr_batch_equation(group: SchnorrGroup, items: Sequence[BatchItem]) -> bool:
+    """The combined random-linear-combination check, *without* prechecks.
+
+    Callers MUST already have validated every item: scalars in range
+    (``0 < R < p``, ``0 <= s < q``) and both ``R`` and ``pk`` members of
+    the order-``q`` subgroup — on unchecked input the soundness argument
+    does not hold (see :func:`schnorr_verify_batch`).  Exists so
+    ``SchnorrBackend``, whose intake filter performs those checks while
+    classifying claims, does not pay the per-item Jacobi symbol twice.
+    """
+    if not items:
+        return True
+    if len(items) == 1:
+        # schnorr_verify's own prechecks are O(1) here (no Jacobi on R;
+        # pk membership is memoized for dealt keys).
+        pk, message, sig = items[0]
+        return schnorr_verify(group, pk, message, sig)
+    p, q = group.p, group.q
+    zs = _batch_coefficients(group, items)
+    s_combined = 0
+    pk_exponents: dict[int, int] = {}
+    commitment_pairs = []
+    for (pk, message, sig), z in zip(items, zs):
+        c = _challenge(group, sig.R, pk, message)
+        s_combined = (s_combined + z * sig.s) % q
+        pk_exponents[pk] = (pk_exponents.get(pk, 0) + z * c) % q
+        commitment_pairs.append((sig.R, z))
+    # The z_i are 64-bit, so the interleaved scan is ~16 window positions
+    # — one shared squaring chain for every commitment at once.
+    rhs = group.multi_exp(commitment_pairs)
+    for pk, e in pk_exponents.items():
+        rhs = rhs * group.exp_reduced(pk, e) % p
+    return group.exp_reduced(group.g, s_combined) == rhs
+
+
 def schnorr_verify_batch(group: SchnorrGroup, items: Sequence[BatchItem]) -> bool:
     """True iff every signature in the batch verifies (w.h.p.; see module
     docstring for the 2^-64 soundness bound).
@@ -147,23 +189,19 @@ def schnorr_verify_batch(group: SchnorrGroup, items: Sequence[BatchItem]) -> boo
     for pk, _message, sig in items:
         if not (0 < sig.R < p and 0 <= sig.s < q):
             return False
+        # The commitment must be checked for subgroup membership here even
+        # though single verification needs no such check (its equation
+        # forces R into the subgroup).  The batch equation constrains only
+        # the *product* of the R_i^{z_i}: since every z_i is odd, a signer
+        # who knows its own sk can emit a pair of signatures with negated
+        # commitments R_i = -g^{k_i} whose signs cancel across the pair —
+        # each fails schnorr_verify individually, yet the pair would pass
+        # the combined check.  A Jacobi symbol (no modexp) closes this.
+        if not group.is_member(sig.R):
+            return False
         if not group.is_member(pk):
             return False
-    zs = _batch_coefficients(group, items)
-    s_combined = 0
-    pk_exponents: dict[int, int] = {}
-    commitment_pairs = []
-    for (pk, message, sig), z in zip(items, zs):
-        c = _challenge(group, sig.R, pk, message)
-        s_combined = (s_combined + z * sig.s) % q
-        pk_exponents[pk] = (pk_exponents.get(pk, 0) + z * c) % q
-        commitment_pairs.append((sig.R, z))
-    # The z_i are 64-bit, so the interleaved scan is ~16 window positions
-    # — one shared squaring chain for every commitment at once.
-    rhs = group.multi_exp(commitment_pairs)
-    for pk, e in pk_exponents.items():
-        rhs = rhs * group.exp_reduced(pk, e) % p
-    return group.exp_reduced(group.g, s_combined) == rhs
+    return schnorr_batch_equation(group, items)
 
 
 def schnorr_batch_invalid(

@@ -38,6 +38,18 @@ class TestSetView:
         target.add(2)
         assert 2 in view and len(view) == 2
 
+    def test_mutation_during_iteration_is_safe(self):
+        # A held view must not raise "set changed size during iteration"
+        # when echoes arrive mid-loop: iteration snapshots at its start.
+        target = {1, 2, 3}
+        view = SetView(target)
+        seen = []
+        for member in view:
+            target.add(100 + member)  # would break iter(set) directly
+            seen.append(member)
+        assert sorted(seen) == [1, 2, 3]
+        assert 101 in view  # liveness of membership is unchanged
+
 
 class TestEchoersOf:
     def test_unknown_digest_is_shared_empty_view(self):

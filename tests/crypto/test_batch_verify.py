@@ -21,6 +21,7 @@ from repro.crypto.keys import TrustedDealer
 from repro.crypto.memo import VerifiedMemo
 from repro.crypto.schnorr import (
     SchnorrSignature,
+    _challenge,
     schnorr_batch_invalid,
     schnorr_sign,
     schnorr_verify,
@@ -43,35 +44,48 @@ def _claims(count: int, label: str = "batch"):
     return out
 
 
-def _forge(claim):
+def _forge(claim, mode=0):
+    """Two forgery shapes: a tampered response scalar (mode 0) and a
+    negated commitment with the *genuine* response (mode 1).  Mode 1 is
+    the small-order attack surface: each such signature fails individual
+    verification, but pairs of them cancel in the batch product unless
+    the batch subgroup-checks every commitment."""
     pk, digest, sig = claim
-    return (pk, digest, SchnorrSignature(R=sig.R, s=(sig.s + 1) % GROUP.q))
+    if mode == 0:
+        return (pk, digest, SchnorrSignature(R=sig.R, s=(sig.s + 1) % GROUP.q))
+    return (pk, digest, SchnorrSignature(R=GROUP.p - sig.R, s=sig.s))
 
 
 class TestBatchAgainstIndividual:
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=25, deadline=None)
     @given(
         count=st.integers(min_value=0, max_value=12),
-        forged=st.sets(st.integers(min_value=0, max_value=11)),
+        forged=st.dictionaries(
+            st.integers(min_value=0, max_value=11),
+            st.integers(min_value=0, max_value=1),
+        ),
     )
     def test_accepts_iff_every_individual_accepts(self, count, forged):
         claims = _claims(count)
-        for i in sorted(forged):
+        for i, mode in sorted(forged.items()):
             if i < count:
-                claims[i] = _forge(claims[i])
+                claims[i] = _forge(claims[i], mode)
         individual = all(schnorr_verify(GROUP, *c) for c in claims)
         assert schnorr_verify_batch(GROUP, claims) == individual
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=25, deadline=None)
     @given(
         count=st.integers(min_value=1, max_value=12),
-        forged=st.sets(st.integers(min_value=0, max_value=11)),
+        forged=st.dictionaries(
+            st.integers(min_value=0, max_value=11),
+            st.integers(min_value=0, max_value=1),
+        ),
     )
     def test_bisection_pinpoints_exactly_the_forged(self, count, forged):
         claims = _claims(count, "bisect")
         expected = sorted(i for i in forged if i < count)
         for i in expected:
-            claims[i] = _forge(claims[i])
+            claims[i] = _forge(claims[i], forged[i])
         assert schnorr_batch_invalid(GROUP, claims) == expected
 
     def test_empty_batch_is_vacuously_valid(self):
@@ -88,6 +102,70 @@ class TestBatchAgainstIndividual:
         claims[4] = _forge(claims[4])
         assert not schnorr_verify_batch(GROUP, claims)
         assert schnorr_batch_invalid(GROUP, claims) == [4]
+
+
+def _negated_commitment_pair(label):
+    """A Byzantine signer's paired forgery: for each message it picks a
+    nonce ``k``, publishes the *non-residue* commitment ``R = -g^k``, and
+    computes the response against that R with its own secret key.  Each
+    signature fails :func:`schnorr_verify` (the equation forces R into the
+    subgroup), but because batch coefficients are odd, the two sign flips
+    cancel in ``Π R_i^{z_i}`` — so a batch verifier that skips commitment
+    membership would accept the pair and attribute nothing."""
+    kp = KEYPAIRS[0]
+    claims = []
+    for i in range(2):
+        digest = hash_fields(label, i)
+        k = GROUP.scalar_from_hash("attack-nonce", label, i)
+        commitment = GROUP.p - GROUP.exp_reduced(GROUP.g, k)  # -g^k
+        c = _challenge(GROUP, commitment, kp.pk, digest)
+        s = (k + c * kp.sk) % GROUP.q
+        claims.append((kp.pk, digest, SchnorrSignature(R=commitment, s=s)))
+    return claims
+
+
+class TestCommitmentMembership:
+    """Regression: batch == individual must hold for non-residue commitments."""
+
+    def test_each_half_of_the_pair_fails_individually(self):
+        for claim in _negated_commitment_pair("nr-individual"):
+            assert not schnorr_verify(GROUP, *claim)
+
+    def test_batch_rejects_the_cancelling_pair(self):
+        claims = _negated_commitment_pair("nr-pair")
+        assert not schnorr_verify_batch(GROUP, claims)
+        assert schnorr_batch_invalid(GROUP, claims) == [0, 1]
+
+    def test_pair_buried_in_valid_claims_is_localized(self):
+        claims = _claims(5, "nr-mix") + _negated_commitment_pair("nr-mix")
+        assert not schnorr_verify_batch(GROUP, claims)
+        assert schnorr_batch_invalid(GROUP, claims) == [5, 6]
+
+    def test_backend_rejects_pair_and_never_poisons_the_memo(self):
+        backend = SchnorrBackend(CHAINS[0])
+        items = [
+            (0, digest, sig)
+            for _pk, digest, sig in _negated_commitment_pair("nr-memo")
+        ]
+        assert not backend.verify_batch(items)
+        assert backend.invalid_in_batch(items) == [0, 1]
+        # Neither forged claim was cached as verified, so the single-verify
+        # path keeps rejecting them — acceptance is not path-dependent.
+        for signer, digest, sig in items:
+            assert (signer, digest, sig) not in backend._verified
+            assert not backend.verify(signer, digest, sig)
+
+    def test_out_of_range_commitment_rejected_without_arithmetic(self):
+        backend = SchnorrBackend(CHAINS[0])
+        digest = hash_fields("nr-range")
+        genuine = schnorr_sign(GROUP, KEYPAIRS[0], digest)
+        for bad in (
+            SchnorrSignature(R=0, s=genuine.s),
+            SchnorrSignature(R=GROUP.p, s=genuine.s),
+            SchnorrSignature(R=genuine.R, s=GROUP.q),
+        ):
+            assert not backend.verify_batch([(0, digest, bad)])
+            assert backend.invalid_in_batch([(0, digest, bad)]) == [0]
 
 
 class TestBackendBatch:

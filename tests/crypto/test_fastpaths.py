@@ -50,6 +50,21 @@ class TestFixedBaseTables:
         x = group.exp(group.g, 42)
         assert group.mul(group.exp(x, 5), group.exp(x, -5)) == 1
 
+    def test_built_table_count_is_bounded(self, monkeypatch):
+        # Past the cap, registered bases fall back to pow — memory stays
+        # bounded no matter how many keys a large-n sweep registers, and
+        # results are still bit-identical.
+        from repro.crypto import group as group_mod
+
+        monkeypatch.setattr(group_mod, "_MAX_BUILT_TABLES", 2)
+        g = SchnorrGroup.from_safe_prime(SAFE_PRIMES[256])
+        bases = [g.exp(g.g, 100 + i) for i in range(4)]
+        g.register_fixed_bases(bases)
+        for base in bases:
+            assert g.has_fixed_base(base)
+            assert g.exp_reduced(base, 0xABCDEF) == pow(base, 0xABCDEF, g.p)
+        assert len(g._built) == 2
+
 
 class TestMultiExp:
     @settings(max_examples=25, deadline=None)
