@@ -29,6 +29,12 @@ from .base import Adversary, PassiveAdversary
 from .byzantine import EquivocatingLightDag2Node
 from .crash import CrashAdversary
 from .delay import BullsharkLeaderDelayAdversary, TargetedDelayAdversary
+from .schedule import (
+    FaultPhase,
+    FaultSchedule,
+    ScheduleAdversary,
+    random_schedule,
+)
 from .scheduler import RandomSchedulingAdversary
 from .withhold import WithholdingResponder, withholding_node_class
 
@@ -37,9 +43,13 @@ __all__ = [
     "BullsharkLeaderDelayAdversary",
     "CrashAdversary",
     "EquivocatingLightDag2Node",
+    "FaultPhase",
+    "FaultSchedule",
     "PassiveAdversary",
     "RandomSchedulingAdversary",
+    "ScheduleAdversary",
     "TargetedDelayAdversary",
     "WithholdingResponder",
+    "random_schedule",
     "withholding_node_class",
 ]

@@ -1,0 +1,41 @@
+"""Protocol invariant oracles and the fault-schedule fuzzer.
+
+Two halves:
+
+* **Oracles** — executable forms of the paper's correctness claims, run
+  mid-flight (:class:`~repro.check.monitor.InvariantMonitor`, wired through
+  the node ``on_commit``/``on_deliver`` hooks) and as a post-run deep audit
+  (:func:`~repro.check.oracles.deep_audit`).  Per-node: committed
+  signatures valid, ledger ancestry closed, positions dense, leader index
+  monotone, retrieval state consistent with the store, LightDAG2 Rule 2/3
+  bookkeeping sound.  Cross-replica: committed-leader sequence agreement
+  and per-position commit-metadata agreement on top of the digest-prefix
+  check (Theorems 2 and 6).
+
+* **Fuzzer** — a seed-deterministic generator of timed multi-phase fault
+  schedules (:mod:`repro.adversary.schedule`) plus a driver that sweeps N
+  seeds across every registered protocol with the oracles enabled, and a
+  greedy shrinker that minimizes failing schedules before reporting them
+  (:mod:`repro.check.fuzzer`, surfaced as ``python -m repro fuzz``).
+
+``repro.check.fuzzer`` is imported lazily by the CLI — it depends on the
+harness, which in turn imports this package for the oracle wiring.
+"""
+
+from .monitor import InvariantMonitor
+from .oracles import (
+    audit_cross_replica,
+    audit_ledger,
+    audit_lightdag2,
+    audit_retrieval,
+    deep_audit,
+)
+
+__all__ = [
+    "InvariantMonitor",
+    "audit_cross_replica",
+    "audit_ledger",
+    "audit_lightdag2",
+    "audit_retrieval",
+    "deep_audit",
+]

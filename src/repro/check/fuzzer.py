@@ -1,0 +1,283 @@
+"""Seed-deterministic fault-schedule fuzzing with greedy shrinking.
+
+One fuzz *case* = (protocol, seed, n, duration, schedule, gc_depth).  The
+schedule is generated deterministically from the seed and system shape
+(:func:`repro.adversary.schedule.random_schedule`), the run executes with
+every oracle enabled (``check_level="full"``), and any
+:class:`~repro.errors.ReproError` the oracles or engine raise is a
+failure.  Failures are shrunk greedily — drop phases, reduce n, halve
+durations — and reported as a command line that reproduces them exactly.
+
+Exposed on the CLI as ``python -m repro fuzz``; importable for tests.
+This module imports the harness (which imports ``repro.check`` for the
+oracle wiring), so it intentionally stays out of ``repro.check.__init__``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..adversary.schedule import FaultPhase, FaultSchedule, random_schedule
+from ..config import ExperimentConfig, ProtocolConfig, SystemConfig
+from ..errors import ConfigError, ReproError
+from ..harness.runner import PROTOCOL_REGISTRY, run_experiment
+
+#: gc_depth used on the seeds that exercise the pruning paths.
+FUZZ_GC_DEPTH = 12
+
+#: Every third seed runs with GC on — the pruning/bookkeeping interactions
+#: are exactly where long-run state bugs hide.
+GC_SEED_MODULUS = 3
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """Everything needed to reproduce one fuzz run exactly."""
+
+    protocol: str
+    seed: int
+    n: int
+    duration: float
+    schedule: str
+    gc_depth: Optional[int] = None
+
+    def command(self) -> str:
+        """The CLI invocation that replays this exact case."""
+        parts = [
+            "python -m repro fuzz",
+            f"--protocol {self.protocol}",
+            f"--seed-start {self.seed}",
+            f"-n {self.n}",
+            f"--duration {self.duration:g}",
+            f"--schedule '{self.schedule}'",
+        ]
+        if self.gc_depth is not None:
+            parts.append(f"--gc-depth {self.gc_depth}")
+        return " ".join(parts)
+
+
+@dataclass
+class FuzzFailure:
+    """One failing case, with its shrunk form when shrinking ran."""
+
+    case: FuzzCase
+    error: str
+    shrunk: Optional[FuzzCase] = None
+    shrunk_error: Optional[str] = None
+    shrink_attempts: int = 0
+
+    def minimal(self) -> FuzzCase:
+        return self.shrunk if self.shrunk is not None else self.case
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz sweep."""
+
+    runs: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+    timed_out: bool = False
+    runs_by_protocol: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ------------------------------------------------------------------ one case
+
+
+def build_config(case: FuzzCase) -> ExperimentConfig:
+    """The experiment configuration behind a fuzz case.
+
+    Small batches and no CPU model keep a 4-replica, ~6-second case around
+    a second of wall clock; warmup is irrelevant (nothing reads the
+    throughput numbers) but must stay below the duration.
+    """
+    return ExperimentConfig(
+        system=SystemConfig(n=case.n, crypto="hmac", seed=case.seed),
+        protocol=ProtocolConfig(batch_size=8, gc_depth=case.gc_depth),
+        protocol_name=case.protocol,
+        adversary_name=f"schedule:{case.schedule}",
+        duration=case.duration,
+        warmup=min(1.0, case.duration * 0.25),
+        cpu_fixed_us=0.0,
+        cpu_per_byte_ns=0.0,
+        seed=case.seed,
+        check_level="full",
+    )
+
+
+def run_case(
+    case: FuzzCase, registry: Optional[Dict] = None, obs=None
+) -> Optional[str]:
+    """Execute one case under full oracles.
+
+    Returns ``None`` on success or the failure description.  A
+    :class:`~repro.errors.ConfigError` (invalid case, e.g. a shrink
+    candidate whose schedule no longer fits the replica set) propagates —
+    it is not a protocol failure.
+    """
+    cfg = build_config(case)
+    try:
+        run_experiment(cfg, obs=obs, registry=registry)
+    except ConfigError:
+        raise
+    except ReproError as exc:
+        return f"{type(exc).__name__}: {exc}"
+    return None
+
+
+# ------------------------------------------------------------------ shrinking
+
+
+def _scale_phase(phase: FaultPhase, factor: float) -> FaultPhase:
+    return FaultPhase(
+        kind=phase.kind,
+        start=round(phase.start * factor, 3),
+        duration=round(phase.duration * factor, 3),
+        params=phase.params,
+    )
+
+
+def shrink(
+    case: FuzzCase,
+    registry: Optional[Dict] = None,
+    max_attempts: int = 32,
+    budget_s: float = 60.0,
+) -> tuple:
+    """Greedy minimization: returns ``(smaller_failing_case, attempts)``.
+
+    Three moves, retried to a fixed point or budget exhaustion: drop one
+    phase, reduce the replica count, halve the run (scaling the schedule
+    with it).  Any failure counts — the shrinker minimizes "a schedule this
+    protocol fails under", not one exact exception string.
+    """
+    deadline = time.monotonic() + budget_s
+    attempts = 0
+    current = case
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        nonlocal attempts
+        if attempts >= max_attempts or time.monotonic() >= deadline:
+            return False
+        attempts += 1
+        try:
+            return run_case(candidate, registry=registry) is not None
+        except ConfigError:
+            return False  # candidate invalid (e.g. schedule outgrew new n)
+
+    improved = True
+    while improved and attempts < max_attempts and time.monotonic() < deadline:
+        improved = False
+        schedule = FaultSchedule.from_spec(current.schedule)
+        for i in range(len(schedule.phases)):
+            trimmed = FaultSchedule(
+                schedule.phases[:i] + schedule.phases[i + 1:]
+            )
+            candidate = replace(current, schedule=trimmed.to_spec())
+            if still_fails(candidate):
+                current, improved = candidate, True
+                break
+        if improved:
+            continue
+        for smaller in sorted({4, (current.n + 4) // 2}):
+            if smaller >= current.n:
+                continue
+            candidate = replace(current, n=smaller)
+            if still_fails(candidate):
+                current, improved = candidate, True
+                break
+        if improved:
+            continue
+        if current.duration > 3.0:
+            scaled = FaultSchedule(
+                tuple(_scale_phase(p, 0.5) for p in schedule.phases)
+            )
+            candidate = replace(
+                current,
+                duration=round(max(2.0, current.duration * 0.5), 3),
+                schedule=scaled.to_spec(),
+            )
+            if still_fails(candidate):
+                current, improved = candidate, True
+    return current, attempts
+
+
+# ------------------------------------------------------------------ sweeping
+
+
+def make_case(
+    protocol: str, seed: int, n: int = 4, duration: float = 6.0
+) -> FuzzCase:
+    """The deterministic case for one (protocol, seed) cell."""
+    system = SystemConfig(n=n, crypto="hmac", seed=seed)
+    schedule = random_schedule(seed, system, protocol, duration)
+    gc_depth = FUZZ_GC_DEPTH if seed % GC_SEED_MODULUS == 0 else None
+    return FuzzCase(
+        protocol=protocol,
+        seed=seed,
+        n=n,
+        duration=duration,
+        schedule=schedule.to_spec(),
+        gc_depth=gc_depth,
+    )
+
+
+def fuzz(
+    protocols: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = range(10),
+    n: int = 4,
+    duration: float = 6.0,
+    time_box: Optional[float] = None,
+    registry: Optional[Dict] = None,
+    shrink_failures: bool = True,
+    shrink_budget_s: float = 60.0,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Sweep seeds × protocols under generated schedules with full oracles.
+
+    ``time_box`` bounds wall-clock seconds for the whole sweep (checked
+    between runs); on expiry the report is returned with ``timed_out``
+    set so CI jobs degrade gracefully instead of being killed.
+    """
+    if protocols is None:
+        protocols = sorted(PROTOCOL_REGISTRY)
+    started = time.monotonic()
+    report = FuzzReport()
+    for seed in seeds:
+        for protocol in protocols:
+            if time_box is not None and time.monotonic() - started > time_box:
+                report.timed_out = True
+                report.elapsed = time.monotonic() - started
+                return report
+            case = make_case(protocol, seed, n=n, duration=duration)
+            error = run_case(case, registry=registry)
+            report.runs += 1
+            report.runs_by_protocol[protocol] = (
+                report.runs_by_protocol.get(protocol, 0) + 1
+            )
+            if error is None:
+                continue
+            failure = FuzzFailure(case=case, error=error)
+            if log is not None:
+                log(f"FAIL {protocol} seed={seed}: {error}")
+            if shrink_failures:
+                shrunk, attempts = shrink(
+                    case, registry=registry, budget_s=shrink_budget_s
+                )
+                failure.shrink_attempts = attempts
+                if shrunk != case:
+                    failure.shrunk = shrunk
+                    failure.shrunk_error = run_case(shrunk, registry=registry)
+                if log is not None:
+                    log(
+                        f"  shrunk after {attempts} attempts to: "
+                        f"{failure.minimal().command()}"
+                    )
+            report.failures.append(failure)
+    report.elapsed = time.monotonic() - started
+    return report

@@ -1,0 +1,52 @@
+"""Deliberately broken protocol variants for oracle self-tests.
+
+An oracle that never fires is indistinguishable from one that cannot
+fire.  These mutants each break exactly one commit-rule ingredient the
+paper's safety argument depends on; the fuzzer run against them (tests
+and the ``--mutants`` CLI flag) must catch and shrink a violation, which
+is the evidence the oracles have teeth.
+
+They are kept out of :data:`~repro.harness.runner.PROTOCOL_REGISTRY` —
+callers opt in by passing a merged registry to
+:func:`~repro.harness.runner.run_experiment` or
+:func:`~repro.check.fuzzer.fuzz`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.lightdag1 import LightDag1Node
+
+
+class UnsafeSupportLightDag1Node(LightDag1Node):
+    """Commits a wave leader on a single supporting block instead of f+1.
+
+    With support 1 two replicas can directly commit different leader
+    subsets whose cascades disagree — the committed-leader-sequence and
+    digest-prefix oracles must flag the divergence (Theorem 2 is exactly
+    the claim that f+1 support makes this impossible).
+    """
+
+    def _commit_threshold_value(self) -> int:
+        return 1
+
+
+class NoCascadeLightDag1Node(LightDag1Node):
+    """Never commits skipped leaders indirectly (Algorithm 1 disabled).
+
+    A replica that directly commits wave v while another replica first
+    cascades v-1's leader in produces ledgers that disagree at the first
+    skipped position — caught by the position/commit-metadata agreement
+    oracles.
+    """
+
+    def _cascade_candidate(self, w: int, leader_v) -> Optional[object]:
+        return None
+
+
+#: name → node class, same shape as PROTOCOL_REGISTRY, for merging.
+MUTANT_REGISTRY = {
+    "lightdag1-unsafe-support": UnsafeSupportLightDag1Node,
+    "lightdag1-no-cascade": NoCascadeLightDag1Node,
+}

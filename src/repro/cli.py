@@ -4,6 +4,9 @@ Commands
 --------
 ``run``        one experiment (protocol, n, batch, adversary, …)
 ``report``     instrumented run + full metrics/journal summary tables
+``fuzz``       seed-deterministic fault-schedule sweep with invariant
+               oracles on; failing cases are shrunk and reported as
+               reproducible command lines
 ``table1``     regenerate Table I (paper vs measured communication steps)
 ``fig``        regenerate a figure sweep (12, 13, 14 or 15)
 ``steps``      measure one protocol's commit latency in steps
@@ -48,6 +51,28 @@ ADVERSARY_CHOICES = [
     "withhold", "withhold-garbage", "worst",
 ]
 
+CHECK_LEVELS = ["off", "prefix", "final", "full"]
+
+
+def _adversary(value: str) -> str:
+    """Argparse type for the adversary argument: a named adversary or a
+    ``schedule:<spec>`` fault schedule (validated fully by the harness)."""
+    if value in ADVERSARY_CHOICES or value.startswith("schedule:"):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"unknown adversary {value!r}; choose from "
+        f"{', '.join(ADVERSARY_CHOICES)} or 'schedule:<spec>'"
+    )
+
+
+def _add_check_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--check-level", default="prefix", choices=CHECK_LEVELS,
+        help="how hard to check the run: off, prefix (ledger digest "
+             "prefixes, default), final (+post-run deep audit), "
+             "full (+mid-run invariant monitor)",
+    )
+
 
 def _add_retrieval_args(parser: argparse.ArgumentParser) -> None:
     """§IV-A retrieval-hardening knobs (see SystemConfig)."""
@@ -75,13 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=sorted(PROTOCOL_REGISTRY))
     run_p.add_argument("-n", "--replicas", type=int, default=7)
     run_p.add_argument("--batch", type=int, default=400)
-    run_p.add_argument("--adversary", default="none", choices=ADVERSARY_CHOICES)
+    run_p.add_argument("--adversary", default="none", type=_adversary,
+                       metavar="ADVERSARY")
     run_p.add_argument("--duration", type=float, default=10.0)
     run_p.add_argument("--warmup", type=float, default=2.0)
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--crypto", default="hmac",
                        choices=["schnorr", "hmac", "null"])
     _add_retrieval_args(run_p)
+    _add_check_arg(run_p)
     run_p.add_argument("--repeats", type=int, default=1,
                        help="seeds to average over (§VI-A uses 5)")
     run_p.add_argument("--json", metavar="PATH", help="write results JSON")
@@ -100,13 +127,44 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(PROTOCOL_REGISTRY))
     report_p.add_argument("-n", "--replicas", type=int, default=7)
     report_p.add_argument("--batch", type=int, default=400)
-    report_p.add_argument("--adversary", default="none", choices=ADVERSARY_CHOICES)
+    report_p.add_argument("--adversary", default="none", type=_adversary,
+                          metavar="ADVERSARY")
     report_p.add_argument("--duration", type=float, default=10.0)
     report_p.add_argument("--warmup", type=float, default=2.0)
     report_p.add_argument("--seed", type=int, default=0)
     report_p.add_argument("--crypto", default="hmac",
                           choices=["schnorr", "hmac", "null"])
     _add_retrieval_args(report_p)
+    _add_check_arg(report_p)
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="fault-schedule fuzzing with invariant oracles",
+        description="Sweep seed-deterministic fault schedules across "
+                    "protocols with every invariant oracle enabled; shrink "
+                    "and report failures as reproducible command lines. "
+                    "With --schedule, replay exactly one case instead.",
+    )
+    fuzz_p.add_argument("--seeds", type=int, default=10,
+                        help="number of seeds to sweep (default 10)")
+    fuzz_p.add_argument("--seed-start", type=int, default=0,
+                        help="first seed (also the seed of a --schedule replay)")
+    fuzz_p.add_argument("--protocol", action="append", metavar="NAME",
+                        help="protocol(s) to fuzz; repeatable "
+                             "(default: every registered protocol)")
+    fuzz_p.add_argument("-n", "--replicas", type=int, default=4)
+    fuzz_p.add_argument("--duration", type=float, default=6.0,
+                        help="simulated seconds per case (default 6)")
+    fuzz_p.add_argument("--time-box", type=float, default=None,
+                        help="wall-clock budget for the whole sweep (seconds)")
+    fuzz_p.add_argument("--schedule", metavar="SPEC", default=None,
+                        help="replay one exact fault schedule instead of "
+                             "sweeping (grammar: kind@start+duration[:k=v,..];"
+                             "...)")
+    fuzz_p.add_argument("--gc-depth", type=int, default=None,
+                        help="gc_depth for a --schedule replay")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="report failures without minimizing them")
 
     sub.add_parser("table1", help="Table I: paper vs measured step counts")
 
@@ -149,6 +207,7 @@ def _make_config(args) -> ExperimentConfig:
         duration=args.duration,
         warmup=args.warmup,
         seed=args.seed,
+        check_level=args.check_level,
     )
 
 
@@ -210,6 +269,62 @@ def _cmd_report(args) -> int:
     print(f"\n{len(obs.journal)} journal events, "
           f"{len(obs.metrics)} metric series")
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    # Lazy import: the fuzzer pulls in the harness, which most CLI paths
+    # already have, but keeping it here mirrors repro.check's layering.
+    from .check.fuzzer import FuzzCase, fuzz, run_case, shrink
+    from .check.mutants import MUTANT_REGISTRY
+
+    registry = {**PROTOCOL_REGISTRY, **MUTANT_REGISTRY}
+    for name in args.protocol or []:
+        if name not in registry:
+            print(f"unknown protocol {name!r}; choose from "
+                  f"{', '.join(sorted(registry))}", file=sys.stderr)
+            return 2
+
+    if args.schedule is not None:
+        protocols = args.protocol or ["lightdag2"]
+        if len(protocols) != 1:
+            print("--schedule replays exactly one case; give one --protocol",
+                  file=sys.stderr)
+            return 2
+        case = FuzzCase(
+            protocol=protocols[0], seed=args.seed_start, n=args.replicas,
+            duration=args.duration, schedule=args.schedule,
+            gc_depth=args.gc_depth,
+        )
+        error = run_case(case, registry=registry)
+        if error is None:
+            print(f"OK: {case.command()}")
+            return 0
+        print(f"FAIL: {error}")
+        if not args.no_shrink:
+            shrunk, attempts = shrink(case, registry=registry)
+            if shrunk != case:
+                print(f"shrunk ({attempts} attempts): {shrunk.command()}")
+        print(f"reproduce with: {case.command()}")
+        return 1
+
+    report = fuzz(
+        protocols=args.protocol or None,
+        seeds=range(args.seed_start, args.seed_start + args.seeds),
+        n=args.replicas,
+        duration=args.duration,
+        time_box=args.time_box,
+        registry=registry,
+        shrink_failures=not args.no_shrink,
+        log=print,
+    )
+    suffix = " (time box hit)" if report.timed_out else ""
+    print(f"{report.runs} runs in {report.elapsed:.1f}s, "
+          f"{len(report.failures)} failure(s){suffix}")
+    for failure in report.failures:
+        print(f"\n{failure.case.protocol} seed={failure.case.seed}: "
+              f"{failure.error}")
+        print(f"  reproduce: {failure.minimal().command()}")
+    return 1 if report.failures else 0
 
 
 def _cmd_table1(args) -> int:
@@ -308,6 +423,7 @@ def _cmd_protocols(args) -> int:
 _HANDLERS = {
     "run": _cmd_run,
     "report": _cmd_report,
+    "fuzz": _cmd_fuzz,
     "table1": _cmd_table1,
     "fig": _cmd_fig,
     "steps": _cmd_steps,

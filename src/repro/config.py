@@ -251,8 +251,20 @@ class ExperimentConfig:
     #: Per-byte CPU cost at the receiver (ns/byte); hashing + copying.
     cpu_per_byte_ns: float = 20.0
     seed: int = 0
+    #: How hard the harness checks the run (``repro.check``):
+    #: ``"off"`` — no checks; ``"prefix"`` — post-run digest-prefix
+    #: consistency only (historical default); ``"final"`` — prefix plus
+    #: the post-run deep audit (per-node + cross-replica oracles);
+    #: ``"full"`` — all of the above plus the mid-run invariant monitor
+    #: on every honest replica's commit/deliver hooks.
+    check_level: str = "prefix"
 
     def __post_init__(self) -> None:
+        if self.check_level not in ("off", "prefix", "final", "full"):
+            raise ConfigError(
+                f"check_level must be one of off/prefix/final/full, "
+                f"got {self.check_level!r}"
+            )
         if self.duration <= 0:
             raise ConfigError("duration must be positive")
         if not 0 <= self.warmup < self.duration:

@@ -73,6 +73,15 @@ COIN_SYNC_TAG = "__coin_sync__"
 #: Period of the coin-share recovery check (seconds).
 COIN_SYNC_PERIOD = 0.5
 
+#: Silence (no delivery/proposal progress) before a stall re-broadcast,
+#: once at least one block has ever been delivered.
+STALL_AFTER = 2 * COIN_SYNC_PERIOD
+
+#: More patient threshold before the *first* delivery: a slow first wave
+#: (high-latency models, large-n CPU queues) is startup, not a stall, and
+#: must not trigger re-broadcast storms at every sync tick.
+STALL_STARTUP_GRACE = 8 * COIN_SYNC_PERIOD
+
 
 class BaseDagNode(Node):
     """Common engine; subclasses define the wave shape and broadcast kind.
@@ -155,7 +164,12 @@ class BaseDagNode(Node):
         self.on_commit = on_commit
 
         self.next_round = 1
-        self._last_delivery = 0.0
+        #: Stall-detection clock: time of the last forward progress
+        #: (delivery, own proposal, or stall re-broadcast).  ``None`` until
+        #: armed — sim start is not a delivery, so the clock only starts
+        #: once we have something of our own worth re-broadcasting.
+        self._stall_clock: Optional[float] = None
+        self._delivered_any = False
         self._my_latest_block: Optional[Block] = None
         self.revealed_leaders: Dict[int, int] = {}
         self.committed_leader_waves: Set[int] = set()
@@ -165,8 +179,15 @@ class BaseDagNode(Node):
         self._invalid: Set[Digest] = set()
         self._advance_scheduled = False
         self._sent_share_waves: Set[int] = set()
+        #: Highest wave whose coin share we legitimately broadcast; rounds
+        #: never skip, so every wave up to here has been sent.  Lets the
+        #: share-request responder keep answering for waves whose
+        #: ``_sent_share_waves`` entry was garbage-collected.
+        self._max_share_wave = 0
         self._quorum = system.quorum
         self._commit_support = self._commit_threshold_value()
+        #: per-wave timestamp of the last coin-share recovery request
+        self._coin_requested: Dict[int, float] = {}
 
         # Weak-link bookkeeping (ProtocolConfig.weak_links): blocks already
         # inside our own proposals' ancestry ("covered") vs delivered blocks
@@ -234,7 +255,8 @@ class BaseDagNode(Node):
     # -------------------------------------------------------------- lifecycle
 
     def on_start(self) -> None:
-        self._coin_requested: Dict[int, float] = {}
+        self._coin_requested.clear()
+        self._stall_clock = None  # disarmed until our first own proposal
         self.net.set_timer(COIN_SYNC_PERIOD, COIN_SYNC_TAG)
         self._try_advance()
 
@@ -253,8 +275,10 @@ class BaseDagNode(Node):
             # Shares are deterministic per (replica, wave): recompute and
             # answer.  Only waves we have legitimately reached are served —
             # revealing a future wave's share early would hand the
-            # adversary coin foreknowledge.
-            if msg.wave in self._sent_share_waves:
+            # adversary coin foreknowledge.  (Past waves stay servable even
+            # after their _sent_share_waves entry is pruned — a straggler
+            # may still need them.)
+            if msg.wave <= self._max_share_wave:
                 self.net.send(src, CoinShareMsg(self.coin.make_share(msg.wave)))
         elif isinstance(msg, RetrievalRequest):
             self.retrieval.on_request(src, msg)
@@ -390,16 +414,18 @@ class BaseDagNode(Node):
         """Broadcast-manager callback: the block is delivered (§II-B sense)."""
         if not self.store.add(block):
             return
-        self._last_delivery = self.net.now()
+        now = self.net.now()
+        self._stall_clock = now
+        self._delivered_any = True
         self._ctr_delivered.inc()
         if self._obs_emit is not None:
             self._obs_emit(
-                self._last_delivery, "block.deliver", self.node_id,
+                now, "block.deliver", self.node_id,
                 round=block.round, author=block.author,
                 digest=short_hex(block.digest),
             )
         if self.on_deliver_hook is not None:
-            self.on_deliver_hook(block, self._last_delivery)
+            self.on_deliver_hook(block, now)
         if self.protocol.weak_links and block.digest not in self._covered:
             self._uncovered[block.digest] = block
         self.retrieval.drop_pending(block.digest)
@@ -447,6 +473,9 @@ class BaseDagNode(Node):
         payload = self.payload_source(self.net.now())
         block = self._build_block(round_, parents, payload)
         self._my_latest_block = block
+        # Proposing is forward progress too: (re-)arm the stall clock so
+        # detection counts from our first own proposal, never from t=0.
+        self._stall_clock = self.net.now()
         self._ctr_rounds.inc()
         if self._obs_emit is not None:
             self._obs_emit(
@@ -494,6 +523,7 @@ class BaseDagNode(Node):
         for wave_num, e in self.wave.waves_containing(round_):
             if e == self.WAVE_LENGTH and wave_num not in self._sent_share_waves:
                 self._sent_share_waves.add(wave_num)
+                self._max_share_wave = max(self._max_share_wave, wave_num)
                 self.net.broadcast(CoinShareMsg(self.coin.make_share(wave_num)))
 
     # -------------------------------------------------------------- the coin
@@ -540,21 +570,25 @@ class BaseDagNode(Node):
                     requested += 1
             wave_num += 1
 
-        # Stall recovery: if nothing has been delivered for a while, some
-        # of our outbound traffic may have been lost (partition, drops) —
+        # Stall recovery: if nothing has progressed for a while, some of
+        # our outbound traffic may have been lost (partition, drops) —
         # re-broadcast the latest proposal.  Receivers that have it refresh
         # their echoes; receivers that missed it join its broadcast now.
-        if (
-            self._my_latest_block is not None
-            and now - self._last_delivery > 2 * COIN_SYNC_PERIOD
-        ):
-            self._ctr_stall_rebroadcasts.inc()
-            if self._obs_emit is not None:
-                self._obs_emit(
-                    now, "stall.rebroadcast", self.node_id,
-                    round=self._my_latest_block.round,
-                )
-            self._broadcast_block(self._my_latest_block)
+        # The clock arms at our first own proposal (never at sim start),
+        # uses a generous grace period until the first-ever delivery, and
+        # resets on each re-broadcast so a genuine stall costs one
+        # re-broadcast per window, not one per sync tick.
+        if self._my_latest_block is not None and self._stall_clock is not None:
+            threshold = STALL_AFTER if self._delivered_any else STALL_STARTUP_GRACE
+            if now - self._stall_clock > threshold:
+                self._stall_clock = now
+                self._ctr_stall_rebroadcasts.inc()
+                if self._obs_emit is not None:
+                    self._obs_emit(
+                        now, "stall.rebroadcast", self.node_id,
+                        round=self._my_latest_block.round,
+                    )
+                self._broadcast_block(self._my_latest_block)
 
     def _on_leader_revealed(self, wave_num: int, leader: int) -> None:
         self._try_direct_commit(wave_num)
@@ -717,6 +751,42 @@ class BaseDagNode(Node):
             # Retrieval state below the horizon is equally dead: a pending
             # block whose round is being pruned can never be accepted.
             self.retrieval.gc_below(horizon)
+            self._gc_state(horizon)
+
+    def _gc_state(self, horizon: int) -> None:
+        """Prune per-node bookkeeping below the GC horizon.
+
+        Subclass hook (extensions must call ``super()``): runs right after
+        the store/retrieval prune, so anything keyed by a round below
+        ``horizon`` — or by a digest no longer in the store — refers to
+        history that can never be validated, voted on, or committed again.
+        Without this, round-/digest-keyed maps grow without bound on long
+        runs even with ``gc_depth`` set.
+        """
+        if self.protocol.weak_links:
+            if self._uncovered:
+                stale = [
+                    d for d, b in self._uncovered.items() if b.round < horizon
+                ]
+                for digest in stale:
+                    del self._uncovered[digest]
+            # _covered holds bare digests (rounds unknown): intersect with
+            # the freshly pruned store.  Genesis stays (round 0 is kept).
+            self._covered = {d for d in self._covered if d in self.store}
+        # Wave-keyed coin/commit bookkeeping: waves strictly below the
+        # settled frontier are decided forever.  The frontier wave itself
+        # must survive — the cascade anchors on max(committed < v) and the
+        # sync check starts at last_settled_wave + 1.
+        floor_wave = self.last_settled_wave
+        for mapping in (self.revealed_leaders, self._coin_requested):
+            for wave_num in [w for w in mapping if w < floor_wave]:
+                del mapping[wave_num]
+        for wave_set in (self.committed_leader_waves, self._sent_share_waves):
+            for wave_num in [w for w in wave_set if w < floor_wave]:
+                wave_set.discard(wave_num)
+        self._deferred_cascades = {
+            w for w in self._deferred_cascades if w >= floor_wave
+        }
 
     # -------------------------------------------------------------- metrics
 

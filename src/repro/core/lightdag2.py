@@ -281,6 +281,36 @@ class LightDag2Node(BaseDagNode):
                 if original.round == block.round + 1:
                     self._repropose(original)
 
+    def _gc_state(self, horizon: int) -> None:
+        """Prune the Rule 2/3 bookkeeping alongside the store.
+
+        Everything below the horizon is un-revotable: a CBC block whose
+        parents were pruned can never finish validation (it parks in
+        retrieval, which GCs it at the same horizon), so endorsements,
+        proposal copies, and repropose state about those rounds are dead.
+        ``voted_refs`` keys are *parent* slots — one round below the blocks
+        endorsing them — hence the ``horizon - 1`` cutoff: any parent still
+        in the store keeps its endorsement.
+        """
+        super()._gc_state(horizon)
+        for slot in [s for s in self.voted_refs if s[0] < horizon - 1]:
+            del self.voted_refs[slot]
+        doomed = [d for d, b in self.my_blocks.items() if b.round < horizon]
+        for digest in doomed:
+            del self.my_blocks[digest]
+        if self._reproposed_for:
+            self._reproposed_for = {
+                d: snap
+                for d, snap in self._reproposed_for.items()
+                if d in self.my_blocks
+            }
+        for digest in [
+            d for d, b in self._pending_repropose.items() if b.round < horizon
+        ]:
+            del self._pending_repropose[digest]
+        for round_ in [r for r in self._repropose_counter if r < horizon]:
+            del self._repropose_counter[round_]
+
     # ------------------------------------------------------------ proposing
 
     def _parent_allowed(self, block: Block) -> bool:

@@ -227,6 +227,23 @@ class RetrievalManager:
     def is_pending(self, digest: Digest) -> bool:
         return digest in self._pending
 
+    def audit_state(self) -> Dict[str, object]:
+        """Snapshot of the internal state machine for the invariant oracles
+        (:mod:`repro.check`).  Read-only copies — safe to inspect post-run."""
+        return {
+            "pending": {
+                digest: (entry.block, frozenset(entry.missing))
+                for digest, entry in self._pending.items()
+            },
+            "dependents": {
+                digest: frozenset(deps)
+                for digest, deps in self._dependents.items()
+            },
+            "inflight": frozenset(self._inflight),
+            "requested": frozenset(self._requested),
+            "abandoned": frozenset(self._abandoned),
+        }
+
     def pending_count(self) -> int:
         return len(self._pending)
 

@@ -108,15 +108,29 @@ def check_prefix_consistency(ledgers: List[Ledger]) -> None:
     may be at different commit depths, but where both have committed, they
     must have committed identically.  Raises :class:`ProtocolError` naming
     the first divergent position.
+
+    Prefix agreement with a common reference is transitive, so instead of
+    the O(R²·L) all-pairs scan it suffices to compare every ledger against
+    the longest one (O(R·L)): if two ledgers each match the longest on
+    their whole length, they match each other on their common prefix.
     """
     sequences = [ledger.digest_sequence() for ledger in ledgers]
-    for a in range(len(sequences)):
-        for b in range(a + 1, len(sequences)):
-            common = min(len(sequences[a]), len(sequences[b]))
-            for pos in range(common):
-                if sequences[a][pos] != sequences[b][pos]:
-                    raise ProtocolError(
-                        f"safety violation: ledgers {a} and {b} diverge at "
-                        f"position {pos}: {sequences[a][pos].hex()[:8]} != "
-                        f"{sequences[b][pos].hex()[:8]}"
-                    )
+    if len(sequences) < 2:
+        return
+    ref = max(range(len(sequences)), key=lambda i: len(sequences[i]))
+    ref_seq = sequences[ref]
+    for i, seq in enumerate(sequences):
+        if i == ref:
+            continue
+        # Every non-reference ledger is no longer than the reference, so
+        # its whole sequence is the common prefix.
+        if seq == ref_seq[: len(seq)]:
+            continue
+        for pos, (mine, theirs) in enumerate(zip(seq, ref_seq)):
+            if mine != theirs:
+                a, b = sorted((i, ref))
+                raise ProtocolError(
+                    f"safety violation: ledgers {a} and {b} diverge at "
+                    f"position {pos}: {sequences[a][pos].hex()[:8]} != "
+                    f"{sequences[b][pos].hex()[:8]}"
+                )

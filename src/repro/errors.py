@@ -72,6 +72,18 @@ class SafetyViolation(ProtocolError):
     """
 
 
+class InvariantViolation(ProtocolError):
+    """An invariant oracle (``repro.check``) found a broken protocol
+    invariant — per-node (ledger shape, retrieval/store consistency,
+    LightDAG2 Rule 2/3 bookkeeping) or cross-replica (leader-sequence or
+    commit-metadata disagreement).
+
+    Like :class:`SafetyViolation` this is a verdict of the checking
+    machinery, not a runtime error of the protocols themselves; a correct
+    run under any schedule must never produce it.
+    """
+
+
 class NetworkError(ReproError):
     """Transport-level failure in the asyncio runtime."""
 

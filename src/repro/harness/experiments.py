@@ -38,6 +38,7 @@ def _base_config(
     warmup: float = 4.0,
     seed: int = 0,
     crypto: str = "hmac",
+    check_level: str = "prefix",
 ) -> ExperimentConfig:
     warmup = min(warmup, duration * 0.25)
     return ExperimentConfig(
@@ -48,6 +49,7 @@ def _base_config(
         duration=duration,
         warmup=warmup,
         seed=seed,
+        check_level=check_level,
     )
 
 

@@ -18,7 +18,14 @@ Adversary names (``ExperimentConfig.adversary_name``):
 ``withhold-garbage``  same, but answering with mislabeled junk bodies
 ``worst``          the §VI-A per-protocol strongest attack, resolved from the
                    protocol name — what Fig. 15 plots
+``schedule:SPEC``  a composed, timed multi-phase fault schedule in the
+                   :mod:`repro.adversary.schedule` grammar (fuzzer cases)
 =================  ============================================================
+
+``ExperimentConfig.check_level`` (overridable per call) decides how hard
+the run is checked: ``prefix`` keeps the historical digest-prefix check,
+``final`` adds the post-run deep audit, and ``full`` also installs the
+mid-run :class:`~repro.check.InvariantMonitor` on every honest replica.
 """
 
 from __future__ import annotations
@@ -30,11 +37,13 @@ from ..adversary.base import Adversary
 from ..adversary.byzantine import EquivocatingLightDag2Node, stagger_start_waves
 from ..adversary.crash import CrashAdversary
 from ..adversary.delay import BullsharkLeaderDelayAdversary
+from ..adversary.schedule import FaultSchedule
 from ..adversary.scheduler import RandomSchedulingAdversary
 from ..adversary.withhold import withholding_node_class
 from ..baselines.bullshark import BullsharkNode
 from ..baselines.dagrider import DagRiderNode
 from ..baselines.tusk import TuskNode
+from ..check import InvariantMonitor, deep_audit
 from ..config import ExperimentConfig
 from ..core.base import BaseDagNode
 from ..core.lightdag1 import LightDag1NoMergeNode, LightDag1Node
@@ -106,11 +115,30 @@ class ExperimentResult:
 
 def build_adversary(
     cfg: ExperimentConfig,
+    node_cls: Optional[Type[BaseDagNode]] = None,
 ) -> Tuple[Optional[Adversary], Dict[int, Callable]]:
     """Resolve the adversary name into a message-level adversary and a map
-    of replica-index → Byzantine node-factory override."""
+    of replica-index → Byzantine node-factory override.
+
+    ``node_cls`` is the protocol class the run uses, needed by adversaries
+    that subclass it (withholding, schedules); defaults to the registry
+    entry for ``cfg.protocol_name``.
+    """
     name = cfg.adversary_name
     system = cfg.system
+    if node_cls is None:
+        node_cls = PROTOCOL_REGISTRY.get(cfg.protocol_name)
+    if name.startswith("schedule:"):
+        schedule = FaultSchedule.from_spec(name[len("schedule:"):])
+        schedule.validate(system, cfg.protocol_name)
+        if node_cls is None:
+            raise ConfigError(
+                f"unknown protocol {cfg.protocol_name!r} for fault schedule"
+            )
+        return (
+            schedule.adversary(cfg.seed),
+            schedule.node_overrides(node_cls, system),
+        )
     if name == "worst":
         name = WORST_ATTACK[cfg.protocol_name]
     if name == "none":
@@ -137,7 +165,10 @@ def build_adversary(
 
         return None, {b: override_for(b) for b in byzantine}
     if name in ("withhold", "withhold-garbage"):
-        node_cls = PROTOCOL_REGISTRY[cfg.protocol_name]
+        if node_cls is None:
+            raise ConfigError(
+                f"unknown protocol {cfg.protocol_name!r} for withhold attack"
+            )
         mode = "garbage" if name == "withhold-garbage" else "ignore"
         wh_cls = withholding_node_class(node_cls, mode=mode)
         byzantine = list(range(system.n - system.f, system.n))
@@ -150,7 +181,10 @@ def build_adversary(
 
 
 def run_experiment(
-    cfg: ExperimentConfig, obs: Optional[Observability] = None
+    cfg: ExperimentConfig,
+    obs: Optional[Observability] = None,
+    check_level: Optional[str] = None,
+    registry: Optional[Dict[str, Type[BaseDagNode]]] = None,
 ) -> ExperimentResult:
     """Run one experiment to completion and collect its measurements.
 
@@ -158,13 +192,21 @@ def run_experiment(
     registry and journal are threaded through the simulator, every node,
     and all broadcast/retrieval managers, and come back attached to the
     result (``result.obs``) for export via :mod:`repro.analysis.obs_export`.
+
+    ``check_level`` overrides ``cfg.check_level`` for this run;
+    ``registry`` replaces :data:`PROTOCOL_REGISTRY` for protocol lookup
+    (the oracle self-tests merge deliberately broken mutants in).
     """
     system = cfg.system
-    node_cls = PROTOCOL_REGISTRY.get(cfg.protocol_name)
+    level = check_level if check_level is not None else cfg.check_level
+    if level not in ("off", "prefix", "final", "full"):
+        raise ConfigError(f"unknown check level {level!r}")
+    protocols = PROTOCOL_REGISTRY if registry is None else registry
+    node_cls = protocols.get(cfg.protocol_name)
     if node_cls is None:
         raise ConfigError(
             f"unknown protocol {cfg.protocol_name!r}; "
-            f"choose from {sorted(PROTOCOL_REGISTRY)}"
+            f"choose from {sorted(protocols)}"
         )
     dealer = TrustedDealer(
         system, coin_threshold=cfg.protocol.resolve_coin_threshold(system)
@@ -172,7 +214,8 @@ def run_experiment(
     chains = dealer.deal()
     obs = obs if obs is not None else NULL_OBS
     collector = MetricsCollector(warmup=cfg.warmup, measure_until=cfg.duration)
-    adversary, byz_overrides = build_adversary(cfg)
+    adversary, byz_overrides = build_adversary(cfg, node_cls)
+    monitor = InvariantMonitor(obs=obs) if level == "full" else None
 
     mempools = [
         Mempool.from_config(cfg.protocol, rate=cfg.tx_rate_per_replica)
@@ -191,6 +234,9 @@ def run_experiment(
             )
             if i in byz_overrides:
                 return byz_overrides[i](net, **kwargs)
+            if monitor is not None:
+                kwargs["on_commit"] = monitor.wrap_commit(i, kwargs["on_commit"])
+                kwargs["on_deliver"] = monitor.deliver_hook(i)
             return node_cls(net, **kwargs)
 
         return make
@@ -211,14 +257,20 @@ def run_experiment(
         seed=cfg.seed,
         obs=obs,
     )
+    if monitor is not None:
+        monitor.bind(sim.nodes)
     sim.run(until=cfg.duration)
 
-    honest = [
-        node
-        for i, node in enumerate(sim.nodes)
+    honest_ids = [
+        i
+        for i in range(system.n)
         if i not in byz_overrides and i not in sim.crashed
     ]
-    check_prefix_consistency([node.ledger for node in honest])
+    honest = [sim.nodes[i] for i in honest_ids]
+    if level != "off":
+        check_prefix_consistency([node.ledger for node in honest])
+    if level in ("final", "full"):
+        deep_audit(honest, labels=honest_ids, obs=obs, now=sim.now)
 
     window = cfg.duration - cfg.warmup
     extras: Dict[str, float] = {}

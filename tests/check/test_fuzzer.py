@@ -1,0 +1,125 @@
+"""Fuzzer end-to-end tests, including the oracle self-test.
+
+The self-test is the core of the tentpole: deliberately broken protocol
+variants (``repro.check.mutants``) must be caught *and shrunk* by the
+fuzzer, proving the oracles can actually fire.  The seeds used here were
+found by sweeping; the generator is a pure function of (seed, n,
+protocol, duration), so they stay stable.
+"""
+
+import pytest
+
+from repro.check.fuzzer import (
+    FuzzCase,
+    build_config,
+    fuzz,
+    make_case,
+    run_case,
+    shrink,
+)
+from repro.check.mutants import MUTANT_REGISTRY
+from repro.errors import ConfigError
+from repro.harness.runner import PROTOCOL_REGISTRY
+
+REGISTRY = {**PROTOCOL_REGISTRY, **MUTANT_REGISTRY}
+
+#: (protocol, seed, duration) cells known to trip the oracles — found by
+#: sweeping seeds 0-99 against each mutant.
+KNOWN_BAD = {
+    "lightdag1-unsafe-support": (7, 8.0),
+    "lightdag1-no-cascade": (92, 10.0),
+}
+
+
+class TestCasePlumbing:
+    def test_make_case_deterministic(self):
+        a = make_case("lightdag2", 5)
+        b = make_case("lightdag2", 5)
+        assert a == b
+        assert a.schedule  # non-empty generated schedule
+
+    def test_command_round_trips_through_cli_grammar(self):
+        case = make_case("lightdag1", 3, n=7, duration=5.0)
+        command = case.command()
+        assert f"--schedule '{case.schedule}'" in command
+        assert "--protocol lightdag1" in command
+        assert "-n 7" in command
+
+    def test_build_config_enables_full_checks(self):
+        case = make_case("lightdag2", 1)
+        cfg = build_config(case)
+        assert cfg.check_level == "full"
+        assert cfg.adversary_name == f"schedule:{case.schedule}"
+
+    def test_gc_depth_rotation(self):
+        assert make_case("lightdag2", 0).gc_depth is not None
+        assert make_case("lightdag2", 1).gc_depth is None
+
+    def test_run_case_clean(self):
+        assert run_case(make_case("lightdag2", 1, duration=4.0)) is None
+
+    def test_invalid_case_raises_config_error(self):
+        case = FuzzCase(
+            protocol="lightdag1", seed=0, n=4, duration=4.0,
+            schedule="crash@0+0:victims=9",
+        )
+        with pytest.raises(ConfigError):
+            run_case(case)
+
+
+class TestMutantSelfTest:
+    @pytest.mark.parametrize("mutant", sorted(MUTANT_REGISTRY))
+    def test_mutant_caught(self, mutant):
+        seed, duration = KNOWN_BAD[mutant]
+        case = make_case(mutant, seed, n=4, duration=duration)
+        error = run_case(case, registry=REGISTRY)
+        assert error is not None
+        assert "InvariantViolation" in error
+
+    def test_mutant_shrunk_and_still_failing(self):
+        seed, duration = KNOWN_BAD["lightdag1-unsafe-support"]
+        case = make_case("lightdag1-unsafe-support", seed, n=4, duration=duration)
+        shrunk, attempts = shrink(case, registry=REGISTRY, budget_s=30.0)
+        assert attempts > 0
+        assert run_case(shrunk, registry=REGISTRY) is not None
+        # The shrunk case is no larger than the original on every axis.
+        assert shrunk.n <= case.n
+        assert shrunk.duration <= case.duration
+        assert len(shrunk.schedule) <= len(case.schedule)
+
+    def test_fuzz_reports_mutant_failure(self):
+        seed, duration = KNOWN_BAD["lightdag1-unsafe-support"]
+        report = fuzz(
+            protocols=["lightdag1-unsafe-support"],
+            seeds=[seed],
+            duration=duration,
+            registry=REGISTRY,
+            shrink_failures=False,
+        )
+        assert report.runs == 1
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert "InvariantViolation" in failure.error
+        assert failure.minimal().command().startswith("python -m repro fuzz")
+
+
+class TestSweep:
+    def test_small_clean_sweep(self):
+        report = fuzz(
+            protocols=["lightdag1", "lightdag2"],
+            seeds=range(2),
+            duration=4.0,
+        )
+        assert report.ok
+        assert report.runs == 4
+        assert report.runs_by_protocol == {"lightdag1": 2, "lightdag2": 2}
+
+    def test_time_box_degrades_gracefully(self):
+        report = fuzz(
+            protocols=["lightdag1", "lightdag2"],
+            seeds=range(50),
+            duration=4.0,
+            time_box=0.0,
+        )
+        assert report.timed_out
+        assert report.runs <= 1

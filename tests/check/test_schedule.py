@@ -1,0 +1,161 @@
+"""Fault-schedule grammar, validation, driver, and generator tests."""
+
+import pytest
+
+from repro.adversary.schedule import (
+    FaultPhase,
+    FaultSchedule,
+    ScheduleAdversary,
+    parse_phase,
+    random_schedule,
+)
+from repro.config import SystemConfig
+from repro.errors import ConfigError
+
+
+class _Msg:
+    def wire_size(self):
+        return 100
+
+
+class TestGrammar:
+    def test_phase_round_trip(self):
+        spec = "delay@0.5+2.25:max=0.3,tailp=0.1,taild=1.5"
+        phase = parse_phase(spec)
+        assert phase.kind == "delay"
+        assert phase.start == 0.5
+        assert phase.duration == 2.25
+        assert phase.param("max") == 0.3
+        assert phase.to_spec() == spec
+
+    def test_replica_list_round_trip(self):
+        phase = parse_phase("partition@1+2:group=0|3")
+        assert phase.replicas() == (0, 3)
+        assert phase.to_spec() == "partition@1+2:group=0|3"
+
+    def test_single_replica_as_int(self):
+        phase = parse_phase("crash@2+0:victims=3")
+        assert phase.replicas() == (3,)
+
+    def test_string_param(self):
+        phase = parse_phase("withhold@0+0:replicas=3,mode=garbage")
+        assert phase.param("mode") == "garbage"
+
+    def test_schedule_round_trip(self):
+        spec = "delay@0+6:max=0.25;crash@2+0:victims=3"
+        schedule = FaultSchedule.from_spec(spec)
+        assert len(schedule.phases) == 2
+        assert schedule.to_spec() == spec
+
+    def test_empty_spec(self):
+        assert FaultSchedule.from_spec("").phases == ()
+
+    @pytest.mark.parametrize("bad", [
+        "delay",                 # no window
+        "delay@x+1",             # non-numeric start
+        "warp@0+1",              # unknown kind
+        "delay@0+1:max",         # parameter without value
+        "delay@-1+1",            # negative start
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            parse_phase(bad)
+
+
+class TestValidation:
+    def system(self, n=4):
+        return SystemConfig(n=n, crypto="hmac", seed=0)
+
+    def test_budget_enforced(self):
+        schedule = FaultSchedule.from_spec(
+            "crash@0+0:victims=2;withhold@0+0:replicas=3"
+        )
+        with pytest.raises(ConfigError, match="tolerates only f=1"):
+            schedule.validate(self.system(), "lightdag1")
+
+    def test_overlapping_faulty_replicas_count_once(self):
+        schedule = FaultSchedule.from_spec(
+            "crash@1+0:victims=3;withhold@0+0:replicas=3"
+        )
+        schedule.validate(self.system(), "lightdag1")
+
+    def test_replica_out_of_range(self):
+        schedule = FaultSchedule.from_spec("crash@0+0:victims=9")
+        with pytest.raises(ConfigError, match="outside"):
+            schedule.validate(self.system(), "lightdag1")
+
+    def test_equivocate_lightdag2_only(self):
+        schedule = FaultSchedule.from_spec("equivocate@0+0:replicas=3,wave=1")
+        schedule.validate(self.system(), "lightdag2")
+        with pytest.raises(ConfigError, match="lightdag2"):
+            schedule.validate(self.system(), "tusk")
+
+    def test_partition_group_checked(self):
+        schedule = FaultSchedule.from_spec("partition@0+1:group=0|7")
+        with pytest.raises(ConfigError):
+            schedule.validate(self.system(), "lightdag1")
+
+
+class TestScheduleAdversary:
+    def test_partition_drops_only_cross_cut_in_window(self):
+        phases = FaultSchedule.from_spec("partition@1+2:group=0|1").phases
+        adv = ScheduleAdversary(phases, seed=0)
+        assert adv.on_send(0, 2, _Msg(), now=1.5) is None  # crosses the cut
+        assert adv.on_send(0, 1, _Msg(), now=1.5) == 0.0   # same side
+        assert adv.on_send(0, 2, _Msg(), now=0.5) == 0.0   # before window
+        assert adv.on_send(0, 2, _Msg(), now=3.5) == 0.0   # healed
+        assert adv.dropped == 1
+
+    def test_delay_only_in_window(self):
+        phases = FaultSchedule.from_spec("delay@1+2:max=0.5").phases
+        adv = ScheduleAdversary(phases, seed=3)
+        assert adv.on_send(0, 1, _Msg(), now=0.5) == 0.0
+        inside = adv.on_send(0, 1, _Msg(), now=2.0)
+        assert 0.0 <= inside <= 0.5
+
+    def test_active_delays_accumulate(self):
+        phases = FaultSchedule.from_spec(
+            "delay@0+4:max=0,tailp=1,taild=1;delay@0+4:max=0,tailp=1,taild=2"
+        ).phases
+        adv = ScheduleAdversary(phases, seed=0)
+        assert adv.on_send(0, 1, _Msg(), now=1.0) == pytest.approx(3.0)
+
+    def test_no_message_phases_yields_no_adversary(self):
+        schedule = FaultSchedule.from_spec("withhold@0+0:replicas=3")
+        assert schedule.adversary(seed=0) is None
+        assert FaultSchedule.from_spec("delay@0+1:max=0.1").adversary(0) is not None
+
+
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        system = SystemConfig(n=4, crypto="hmac", seed=0)
+        a = random_schedule(7, system, "lightdag2", 6.0)
+        b = random_schedule(7, system, "lightdag2", 6.0)
+        assert a.to_spec() == b.to_spec()
+
+    def test_different_seeds_differ(self):
+        system = SystemConfig(n=4, crypto="hmac", seed=0)
+        specs = {random_schedule(s, system, "lightdag1", 6.0).to_spec()
+                 for s in range(20)}
+        assert len(specs) > 5
+
+    def test_generated_schedules_valid(self):
+        for n in (4, 7):
+            system = SystemConfig(n=n, crypto="hmac", seed=0)
+            for seed in range(30):
+                schedule = random_schedule(seed, system, "lightdag2", 6.0)
+                schedule.validate(system, "lightdag2")  # must not raise
+                assert schedule.phases
+
+    def test_no_equivocation_outside_lightdag2(self):
+        system = SystemConfig(n=4, crypto="hmac", seed=0)
+        for seed in range(40):
+            schedule = random_schedule(seed, system, "tusk", 6.0)
+            assert all(p.kind != "equivocate" for p in schedule.phases)
+
+    def test_round_trips_through_spec(self):
+        system = SystemConfig(n=7, crypto="hmac", seed=0)
+        for seed in range(20):
+            schedule = random_schedule(seed, system, "lightdag2", 8.0)
+            spec = schedule.to_spec()
+            assert FaultSchedule.from_spec(spec).to_spec() == spec

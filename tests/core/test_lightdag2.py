@@ -289,6 +289,84 @@ class TestRule3Exclusion:
         assert 3 in node.blacklist
 
 
+class TestReproposeRetry:
+    """A parked reproposal (not enough clean parents) must survive further
+    blacklist growth and fire exactly once when a clean quorum appears."""
+
+    def setup_n7(self):
+        system = SystemConfig(n=7, crypto="hmac", seed=0)
+        chains = TrustedDealer(system).deal()
+        node = LightDag2Node(
+            FakeNet(node_id=0, n=7), system, ProtocolConfig(batch_size=5),
+            chains[0],
+        )
+        node.on_start()
+        return system, node
+
+    @staticmethod
+    def g7():
+        return [genesis_block(a).digest for a in range(7)]
+
+    def test_blacklist_grows_while_parked_then_retry_fires_once(self):
+        system, node = self.setup_n7()
+        quorum = 5  # n - f with n=7
+        for author in (1, 2, 3, 5, 6):
+            node.on_message(author, BlockVal(signed(system, author, 1, self.g7())))
+        own_r1 = [
+            m.block for _, m in node.net.sent
+            if isinstance(m, BlockVal) and m.block.round == 1 and m.block.author == 0
+        ][0]
+        pump(node)  # quorum of round-1 blocks -> proposes round-2 CBC block D
+        d0 = [
+            m.block for _, m in node.net.sent
+            if isinstance(m, BlockVal) and m.block.round == 2 and m.block.author == 0
+        ][0]
+        node.net.clear()
+
+        # Proof against author 6: reproposal wants a clean quorum but only
+        # authors {1,2,3,5} remain -> parks.
+        node.on_message(1, ByzantineProofMsg(
+            culprit=6,
+            block_a=signed(system, 6, 1, self.g7()),
+            block_b=signed(system, 6, 1, self.g7(), j=1),
+            objected=d0.digest,
+        ))
+        assert node.reproposals == 0
+        assert d0.digest in node._pending_repropose
+
+        # A second culprit is exposed while parked: the blacklist grows,
+        # the reproposal stays parked (still 4 clean parents).
+        node.on_message(2, ByzantineProofMsg(
+            culprit=4,
+            block_a=signed(system, 4, 1, self.g7()),
+            block_b=signed(system, 4, 1, self.g7(), j=1),
+            objected=d0.digest,
+        ))
+        assert node.blacklist == {4, 6}
+        assert node.reproposals == 0
+        assert d0.digest in node._pending_repropose
+
+        # Our own round-1 block arrives -> 5 clean parents -> retry fires.
+        node.on_message(0, BlockVal(own_r1))
+        assert node.reproposals == 1
+        assert node._pending_repropose == {}
+        new_block = [
+            m.block for _, m in node.net.sent
+            if isinstance(m, BlockVal) and m.block.round == 2
+            and m.block.author == 0 and m.block.repropose_index == 1
+        ][0]
+        assert len(new_block.parents) >= quorum
+        assert all(
+            node.store.get(p).author not in (4, 6) for p in new_block.parents
+        )
+        assert {p.culprit for p in new_block.byz_proofs} == {4, 6}
+
+        # Re-delivering more blocks must not repropose again for the same
+        # (original, blacklist) state.
+        node.on_message(0, BlockVal(own_r1))
+        assert node.reproposals == 1
+
+
 class TestRule4Determinations:
     def test_first_round_block_records_equivocated_parents(self, system, chains):
         node = make_node(system, chains)

@@ -116,3 +116,40 @@ class TestPrefixConsistency:
         c = self.make_ledger([block_at(1, 3)])
         with pytest.raises(ProtocolError):
             check_prefix_consistency([a, b, c])
+
+    def test_matches_all_pairs_reference(self):
+        """The O(R·L) longest-reference check must accept/reject exactly the
+        same ledger families as the naive O(R²·L) all-pairs scan it
+        replaced."""
+        import random
+
+        def pairwise_consistent(ledgers):
+            seqs = [l.digest_sequence() for l in ledgers]
+            for i in range(len(seqs)):
+                for j in range(i + 1, len(seqs)):
+                    shared = min(len(seqs[i]), len(seqs[j]))
+                    if seqs[i][:shared] != seqs[j][:shared]:
+                        return False
+            return True
+
+        rng = random.Random(42)
+        pool = [block_at(1, a) for a in range(4)] + [
+            block_at(r, a) for r in (2, 3) for a in range(4)
+        ]
+        for trial in range(60):
+            canonical = rng.sample(pool, rng.randint(0, len(pool)))
+            family = []
+            for _ in range(rng.randint(2, 5)):
+                cut = rng.randint(0, len(canonical))
+                blocks = list(canonical[:cut])
+                if rng.random() < 0.3:  # sometimes fork the tail
+                    extra = [b for b in pool if b not in blocks]
+                    rng.shuffle(extra)
+                    blocks += extra[: rng.randint(0, 2)]
+                family.append(self.make_ledger(blocks))
+            expected_ok = pairwise_consistent(family)
+            if expected_ok:
+                check_prefix_consistency(family)
+            else:
+                with pytest.raises(ProtocolError):
+                    check_prefix_consistency(family)

@@ -130,6 +130,38 @@ def test_lightdag2_crash_plus_equivocation(seed, start_wave, victim):
     check_prefix_consistency([node.ledger for node in honest])
 
 
+@pytest.mark.parametrize("node_cls", [LightDag1Node, LightDag2Node])
+@settings(**COMMON_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_commit_metadata_agreement_under_tail_delays(node_cls, seed):
+    """Stronger than prefix agreement: replicas must also agree on *how*
+    each block committed (leader index and anchoring leader), even when a
+    heavy-tailed scheduler forces some of them to commit via Algorithm 1's
+    cascade instead of the direct path."""
+    from repro.check import audit_cross_replica
+
+    system = SystemConfig(n=4, crypto="hmac", seed=seed)
+    protocol = ProtocolConfig(batch_size=5)
+    chains = TrustedDealer(
+        system, coin_threshold=protocol.resolve_coin_threshold(system)
+    ).deal()
+    sim = Simulation(
+        [
+            (lambda net, i=i: node_cls(net, system, protocol, chains[i]))
+            for i in range(4)
+        ],
+        latency_model=UniformLatency(0.01, 0.06),
+        adversary=RandomSchedulingAdversary(
+            max_delay=0.2, tail_probability=0.15, tail_delay=1.0, seed=seed
+        ),
+        seed=seed,
+    )
+    sim.run(until=8.0)
+    labels = [f"replica {i}" for i in range(4)]
+    assert audit_cross_replica(sim.nodes, labels) == []
+    assert any(len(node.ledger) > 0 for node in sim.nodes)
+
+
 @pytest.mark.parametrize("node_cls", PROTOCOLS)
 def test_commit_records_monotone_time(node_cls):
     """Commit times never decrease along the ledger (sanity of Algorithm 1's
