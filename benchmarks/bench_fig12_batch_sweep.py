@@ -17,7 +17,7 @@ from repro.harness.report import render_series, series_by_protocol
 from .conftest import save_report
 
 
-def test_fig12_batch_size_sweep(benchmark, axes, results_dir):
+def test_fig12_batch_size_sweep(benchmark, axes, results_dir, jobs):
     results = benchmark.pedantic(
         batch_size_sweep,
         kwargs=dict(
@@ -25,6 +25,7 @@ def test_fig12_batch_size_sweep(benchmark, axes, results_dir):
             batch_sizes=axes["batch_sizes"],
             duration=axes["duration"],
             seed=12,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

@@ -18,7 +18,7 @@ from repro.harness.report import render_series, series_by_protocol
 from .conftest import save_report
 
 
-def test_fig13_scalability_sweep(benchmark, axes, results_dir):
+def test_fig13_scalability_sweep(benchmark, axes, results_dir, jobs):
     replicas = axes["scalability_replicas"]
     results = benchmark.pedantic(
         scalability_sweep,
@@ -27,6 +27,7 @@ def test_fig13_scalability_sweep(benchmark, axes, results_dir):
             batch_size=400,
             duration=axes["duration"],
             seed=13,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

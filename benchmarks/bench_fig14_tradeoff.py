@@ -17,7 +17,7 @@ from repro.harness.report import render_series, series_by_protocol
 from .conftest import save_report
 
 
-def test_fig14_latency_throughput_tradeoff(benchmark, axes, results_dir):
+def test_fig14_latency_throughput_tradeoff(benchmark, axes, results_dir, jobs):
     results = benchmark.pedantic(
         tradeoff_curve,
         kwargs=dict(
@@ -25,6 +25,7 @@ def test_fig14_latency_throughput_tradeoff(benchmark, axes, results_dir):
             batch_ramp=axes["batch_ramp"],
             duration=axes["duration"],
             seed=14,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

@@ -20,7 +20,7 @@ from repro.harness.report import render_series, series_by_protocol
 from .conftest import save_report
 
 
-def test_fig15_unfavorable_tradeoff(benchmark, axes, results_dir):
+def test_fig15_unfavorable_tradeoff(benchmark, axes, results_dir, jobs):
     # The attacks need runway: Bullshark's timeout backoff takes several
     # waves to outgrow the adversary's delay, and LightDAG2's exclusion
     # machinery needs the attack to actually fire — so Fig. 15 runs at
@@ -33,6 +33,7 @@ def test_fig15_unfavorable_tradeoff(benchmark, axes, results_dir):
             batch_ramp=axes["batch_ramp"],
             duration=duration,
             seed=15,
+            jobs=jobs,
         ),
         rounds=1,
         iterations=1,

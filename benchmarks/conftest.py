@@ -10,6 +10,12 @@ Scale selection: set ``REPRO_BENCH_SCALE`` to
 
 Every figure bench writes its rendered table to ``benchmarks/results/`` so
 the numbers survive pytest's output capture (EXPERIMENTS.md quotes them).
+
+``REPRO_BENCH_JOBS`` sets the worker-process count the figure sweeps run
+under (the ``--jobs`` flag of the CLI; see ``repro.harness.parallel``).
+Default 1 — in-process, so single-run timings stay comparable across
+machines; CI sets 2 to exercise the pool path.  Results are identical at
+any job count, only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -20,6 +26,8 @@ from pathlib import Path
 import pytest
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -57,6 +65,11 @@ def axes():
     if SCALE not in AXES:
         raise RuntimeError(f"REPRO_BENCH_SCALE must be one of {sorted(AXES)}")
     return AXES[SCALE]
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    return JOBS
 
 
 @pytest.fixture(scope="session")

@@ -103,23 +103,102 @@ class RepeatedResult:
         }
 
 
-def repeat_experiment(cfg: ExperimentConfig, repeats: int = 5) -> RepeatedResult:
+def seed_variants(cfg: ExperimentConfig, seeds: Sequence[int]) -> List[ExperimentConfig]:
+    """``cfg`` re-seeded once per entry of ``seeds`` (both RNG roots moved)."""
+    return [
+        cfg.with_updates(seed=s, system=cfg.system.with_updates(seed=s))
+        for s in seeds
+    ]
+
+
+def aggregate_results(runs: Sequence["ExperimentResult"]) -> "ExperimentResult":
+    """Collapse per-seed runs of one sweep point into a single result.
+
+    Float metrics become means; counters become rounded means (so a mean
+    over seeds still reads as "txs per run", not a sum that grows with the
+    seed count).  Spread lands in ``extras``: ``tps_stddev`` /
+    ``latency_stddev`` (sample stddev) and ``seed_count``, which is what
+    EXPERIMENTS.md renders as error bars.  The carried config is the first
+    run's, so ``result.config.seed`` names the first seed of the set.
+    """
+    from ..harness.runner import ExperimentResult
+
+    runs = list(runs)
+    if not runs:
+        raise ValueError("aggregate_results needs at least one run")
+    if len(runs) == 1:
+        only = runs[0]
+        extras = dict(only.extras)
+        extras.setdefault("tps_stddev", 0.0)
+        extras.setdefault("latency_stddev", 0.0)
+        extras.setdefault("seed_count", 1.0)
+        return ExperimentResult(
+            config=only.config,
+            throughput_tps=only.throughput_tps,
+            mean_latency=only.mean_latency,
+            p50_latency=only.p50_latency,
+            p95_latency=only.p95_latency,
+            committed_txs=only.committed_txs,
+            rounds_reached=only.rounds_reached,
+            events=only.events,
+            messages_sent=only.messages_sent,
+            bytes_sent=only.bytes_sent,
+            extras=extras,
+        )
+    count = len(runs)
+    tps = Aggregate.of([r.throughput_tps for r in runs])
+    latency = Aggregate.of([r.mean_latency for r in runs])
+
+    def fmean(values: List[float]) -> float:
+        return sum(values) / count
+
+    extras: Dict[str, float] = {}
+    # Per-run extras that every seed reported are averaged too.
+    shared = set(runs[0].extras)
+    for r in runs[1:]:
+        shared &= set(r.extras)
+    for key in sorted(shared):
+        extras[key] = fmean([r.extras[key] for r in runs])
+    extras["tps_stddev"] = tps.stdev
+    extras["latency_stddev"] = latency.stdev
+    extras["seed_count"] = float(count)
+    return ExperimentResult(
+        config=runs[0].config,
+        throughput_tps=tps.mean,
+        mean_latency=latency.mean,
+        p50_latency=fmean([r.p50_latency for r in runs]),
+        p95_latency=fmean([r.p95_latency for r in runs]),
+        committed_txs=round(fmean([r.committed_txs for r in runs])),
+        rounds_reached=round(fmean([r.rounds_reached for r in runs])),
+        events=round(fmean([r.events for r in runs])),
+        messages_sent=round(fmean([r.messages_sent for r in runs])),
+        bytes_sent=round(fmean([r.bytes_sent for r in runs])),
+        extras=extras,
+    )
+
+
+def repeat_experiment(
+    cfg: ExperimentConfig, repeats: int = 5, jobs: "int | None" = 1
+) -> RepeatedResult:
     """Run ``cfg`` under ``repeats`` distinct seeds and aggregate.
 
     Seeds are derived as ``cfg.seed, cfg.seed+1, …`` so a repetition set is
-    itself reproducible.
+    itself reproducible.  ``jobs`` fans the repetitions out over the
+    parallel harness (``jobs=1``, the default, stays in-process); results
+    are identical either way because each run is seed-deterministic.
     """
-    from ..harness.runner import run_experiment
+    from ..harness.parallel import run_sweep
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    runs: List["ExperimentResult"] = []
-    for k in range(repeats):
-        seeded = cfg.with_updates(
+    seeded = [
+        cfg.with_updates(
             seed=cfg.seed + k,
             system=cfg.system.with_updates(seed=cfg.system.seed + k),
         )
-        runs.append(run_experiment(seeded))
+        for k in range(repeats)
+    ]
+    runs = run_sweep(seeded, jobs=jobs).require()
     return RepeatedResult(
         config=cfg,
         repeats=repeats,

@@ -22,6 +22,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from ..adversary.schedule import FaultPhase, FaultSchedule, random_schedule
 from ..config import ExperimentConfig, ProtocolConfig, SystemConfig
 from ..errors import ConfigError, ReproError
+from ..harness.parallel import NOT_RUN, parallel_map
 from ..harness.runner import PROTOCOL_REGISTRY, run_experiment
 
 #: gc_depth used on the seeds that exercise the pruning paths.
@@ -227,6 +228,19 @@ def make_case(
     )
 
 
+def _fuzz_worker(case: FuzzCase, registry: Optional[Dict]):
+    """Shared-nothing fuzz unit: case in, verdict out (never raises).
+
+    ``ConfigError`` means the *case generator* produced an invalid case —
+    a harness bug, not a protocol failure — so it is tagged separately and
+    re-raised in the parent rather than recorded as a finding.
+    """
+    try:
+        return "fail", run_case(case, registry=registry)
+    except ConfigError as exc:
+        return "config_error", str(exc)
+
+
 def fuzz(
     protocols: Optional[Sequence[str]] = None,
     seeds: Iterable[int] = range(10),
@@ -237,47 +251,63 @@ def fuzz(
     shrink_failures: bool = True,
     shrink_budget_s: float = 60.0,
     log: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = 1,
 ) -> FuzzReport:
     """Sweep seeds × protocols under generated schedules with full oracles.
 
-    ``time_box`` bounds wall-clock seconds for the whole sweep (checked
-    between runs); on expiry the report is returned with ``timed_out``
-    set so CI jobs degrade gracefully instead of being killed.
+    ``jobs`` fans the (seed, protocol) grid out over the parallel harness
+    (``repro.harness.parallel``); every case is seed-deterministic, so the
+    set of failures is identical at any job count.  Shrinking always runs
+    serially in the parent — it is a sequential fixed-point search over
+    one failing case, and failures are rare enough that parallelizing the
+    sweep is where the wall-clock lives.
+
+    ``time_box`` bounds wall-clock seconds for the *sweep* (shrinking has
+    its own ``shrink_budget_s`` per failure); on expiry the report covers
+    the completed runs and ``timed_out`` is set so CI jobs degrade
+    gracefully instead of being killed.
     """
     if protocols is None:
         protocols = sorted(PROTOCOL_REGISTRY)
     started = time.monotonic()
     report = FuzzReport()
-    for seed in seeds:
-        for protocol in protocols:
-            if time_box is not None and time.monotonic() - started > time_box:
-                report.timed_out = True
-                report.elapsed = time.monotonic() - started
-                return report
-            case = make_case(protocol, seed, n=n, duration=duration)
-            error = run_case(case, registry=registry)
-            report.runs += 1
-            report.runs_by_protocol[protocol] = (
-                report.runs_by_protocol.get(protocol, 0) + 1
+    cases = [
+        make_case(protocol, seed, n=n, duration=duration)
+        for seed in seeds
+        for protocol in protocols
+    ]
+    verdicts, timed_out = parallel_map(
+        _fuzz_worker, cases, jobs, registry=registry, time_box=time_box
+    )
+    report.timed_out = timed_out
+    for case, verdict in zip(cases, verdicts):
+        if verdict is NOT_RUN:
+            continue
+        kind, error = verdict
+        if kind == "config_error":
+            raise ConfigError(error)
+        report.runs += 1
+        report.runs_by_protocol[case.protocol] = (
+            report.runs_by_protocol.get(case.protocol, 0) + 1
+        )
+        if error is None:
+            continue
+        failure = FuzzFailure(case=case, error=error)
+        if log is not None:
+            log(f"FAIL {case.protocol} seed={case.seed}: {error}")
+        if shrink_failures:
+            shrunk, attempts = shrink(
+                case, registry=registry, budget_s=shrink_budget_s
             )
-            if error is None:
-                continue
-            failure = FuzzFailure(case=case, error=error)
+            failure.shrink_attempts = attempts
+            if shrunk != case:
+                failure.shrunk = shrunk
+                failure.shrunk_error = run_case(shrunk, registry=registry)
             if log is not None:
-                log(f"FAIL {protocol} seed={seed}: {error}")
-            if shrink_failures:
-                shrunk, attempts = shrink(
-                    case, registry=registry, budget_s=shrink_budget_s
+                log(
+                    f"  shrunk after {attempts} attempts to: "
+                    f"{failure.minimal().command()}"
                 )
-                failure.shrink_attempts = attempts
-                if shrunk != case:
-                    failure.shrunk = shrunk
-                    failure.shrunk_error = run_case(shrunk, registry=registry)
-                if log is not None:
-                    log(
-                        f"  shrunk after {attempts} attempts to: "
-                        f"{failure.minimal().command()}"
-                    )
-            report.failures.append(failure)
+        report.failures.append(failure)
     report.elapsed = time.monotonic() - started
     return report

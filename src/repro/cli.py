@@ -74,6 +74,15 @@ def _add_check_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep execution (default: all CPUs "
+             "available to this process; 1 = in-process, no pool). "
+             "Results are identical at any job count.",
+    )
+
+
 def _add_retrieval_args(parser: argparse.ArgumentParser) -> None:
     """§IV-A retrieval-hardening knobs (see SystemConfig)."""
     parser.add_argument("--retry-base", type=float, default=0.5,
@@ -111,6 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_check_arg(run_p)
     run_p.add_argument("--repeats", type=int, default=1,
                        help="seeds to average over (§VI-A uses 5)")
+    _add_jobs_arg(run_p)
     run_p.add_argument("--json", metavar="PATH", help="write results JSON")
     run_p.add_argument("--csv", metavar="PATH", help="write results CSV")
     run_p.add_argument("--trace", metavar="PATH",
@@ -165,6 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="gc_depth for a --schedule replay")
     fuzz_p.add_argument("--no-shrink", action="store_true",
                         help="report failures without minimizing them")
+    _add_jobs_arg(fuzz_p)
 
     sub.add_parser("table1", help="Table I: paper vs measured step counts")
 
@@ -174,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seed", type=int, default=0)
     fig_p.add_argument("--small", action="store_true",
                        help="reduced axes (quick look)")
+    _add_jobs_arg(fig_p)
 
     steps_p = sub.add_parser("steps", help="measure commit steps for one protocol")
     steps_p.add_argument("--protocol", default="lightdag2",
@@ -230,7 +242,7 @@ def _cmd_run(args) -> int:
         if want_obs:
             print("note: --trace/--metrics/--journal need a single run; "
                   "ignoring them with --repeats > 1", file=sys.stderr)
-        repeated = repeat_experiment(cfg, repeats=args.repeats)
+        repeated = repeat_experiment(cfg, repeats=args.repeats, jobs=args.jobs)
         print(format_table([repeated.row()], list(repeated.row())))
         results = list(repeated.runs)
     else:
@@ -316,10 +328,12 @@ def _cmd_fuzz(args) -> int:
         registry=registry,
         shrink_failures=not args.no_shrink,
         log=print,
+        jobs=args.jobs,
     )
     suffix = " (time box hit)" if report.timed_out else ""
-    print(f"{report.runs} runs in {report.elapsed:.1f}s, "
-          f"{len(report.failures)} failure(s){suffix}")
+    rate = report.runs / report.elapsed if report.elapsed > 0 else float("inf")
+    print(f"{report.runs} runs in {report.elapsed:.1f}s "
+          f"({rate:.1f} runs/s), {len(report.failures)} failure(s){suffix}")
     for failure in report.failures:
         print(f"\n{failure.case.protocol} seed={failure.case.seed}: "
               f"{failure.error}")
@@ -342,13 +356,13 @@ def _cmd_fig(args) -> int:
         results = batch_size_sweep(
             replica_counts=(4, 7) if args.small else (7, 22),
             batch_sizes=(100, 400) if args.small else (100, 200, 400, 600, 800, 1000),
-            duration=duration, seed=args.seed,
+            duration=duration, seed=args.seed, jobs=args.jobs,
         )
         print(render_series(series_by_protocol(results, "batch"), "batch"))
     elif args.number == 13:
         results = scalability_sweep(
             replica_counts=(4, 7, 13) if args.small else (7, 13, 22, 31, 43, 61),
-            duration=duration, seed=args.seed,
+            duration=duration, seed=args.seed, jobs=args.jobs,
         )
         print(render_series(series_by_protocol(results, "n"), "n"))
     else:
@@ -357,7 +371,7 @@ def _cmd_fig(args) -> int:
             replica_counts=(4,) if args.small else (7, 22),
             batch_ramp=(100, 800) if args.small else (100, 400, 1000, 2000),
             duration=max(duration, 15.0) if args.number == 15 else duration,
-            seed=args.seed,
+            seed=args.seed, jobs=args.jobs,
         )
         print(render_series(series_by_protocol(results, "batch"), "batch"))
     return 0

@@ -88,5 +88,18 @@ class NetworkError(ReproError):
     """Transport-level failure in the asyncio runtime."""
 
 
+class SweepError(ReproError):
+    """One or more runs of a parallel sweep failed.
+
+    Raised by :meth:`repro.harness.parallel.SweepResult.require` when a
+    caller needs every run of a sweep to have succeeded; carries the
+    per-run failures (traceback + replay command) so nothing is lost.
+    """
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""

@@ -3,6 +3,8 @@
 * :mod:`repro.harness.runner` — build-and-run one configured simulation,
   returning an :class:`~repro.harness.runner.ExperimentResult`.
 * :mod:`repro.harness.experiments` — the sweeps behind Figs. 12-15.
+* :mod:`repro.harness.parallel` — process-pool sweep execution
+  (:func:`~repro.harness.parallel.run_sweep`, the ``--jobs`` flag).
 * :mod:`repro.harness.steps` — the Table I communication-step measurements.
 * :mod:`repro.harness.report` — plain-text table rendering for benches and
   EXPERIMENTS.md.
@@ -16,6 +18,12 @@ from .experiments import (
     tradeoff_curve,
     unfavorable_curve,
 )
+from .parallel import (
+    RunFailure,
+    SweepResult,
+    default_jobs,
+    run_sweep,
+)
 from .runner import (
     PROTOCOL_REGISTRY,
     ExperimentResult,
@@ -27,9 +35,13 @@ from .steps import measure_commit_steps, table1_rows
 __all__ = [
     "ExperimentResult",
     "PROTOCOL_REGISTRY",
+    "RunFailure",
+    "SweepResult",
     "batch_size_sweep",
     "build_adversary",
+    "default_jobs",
     "headline_comparison",
+    "run_sweep",
     "measure_commit_steps",
     "peak_throughput",
     "run_experiment",

@@ -15,10 +15,26 @@ Paper settings reference:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..analysis.stats import aggregate_results
 from ..config import ExperimentConfig, ProtocolConfig, SystemConfig
+from .parallel import run_sweep
 from .runner import ExperimentResult, run_experiment
+
+__all__ = [
+    "DEFAULT_PROTOCOLS",
+    "FIG12_BATCH_SIZES",
+    "FIG13_REPLICAS",
+    "FIG14_BATCH_RAMP",
+    "batch_size_sweep",
+    "scalability_sweep",
+    "tradeoff_curve",
+    "unfavorable_curve",
+    "peak_throughput",
+    "headline_comparison",
+    "run_experiment",
+]
 
 #: The protocols every comparison figure plots.
 DEFAULT_PROTOCOLS = ("tusk", "bullshark", "lightdag1", "lightdag2")
@@ -53,24 +69,58 @@ def _base_config(
     )
 
 
+def _sweep(
+    configs: Sequence[ExperimentConfig],
+    jobs: Optional[int],
+    seeds: Optional[Sequence[int]],
+) -> List[ExperimentResult]:
+    """Run sweep-point configs (optionally × seeds) and return one result
+    per point.
+
+    With ``seeds``, each point expands into one run per seed — all of them
+    fed to the pool together, so parallelism spans the full (point, seed)
+    grid — and collapses back through
+    :func:`~repro.analysis.stats.aggregate_results` (mean metrics,
+    ``tps_stddev`` / ``latency_stddev`` / ``seed_count`` in ``extras``).
+    Any failed run raises :class:`~repro.errors.SweepError` with replay
+    commands for exactly the runs that failed.
+    """
+    if not seeds:
+        return run_sweep(configs, jobs=jobs).require()
+    expanded = [
+        cfg.with_updates(seed=s, system=cfg.system.with_updates(seed=s))
+        for cfg in configs
+        for s in seeds
+    ]
+    runs = run_sweep(expanded, jobs=jobs).require()
+    width = len(seeds)
+    return [
+        aggregate_results(runs[i : i + width]) for i in range(0, len(runs), width)
+    ]
+
+
 def batch_size_sweep(
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
     replica_counts: Sequence[int] = (7, 22),
     batch_sizes: Sequence[int] = FIG12_BATCH_SIZES,
     duration: float = 20.0,
     seed: int = 0,
+    jobs: Optional[int] = 1,
+    seeds: Optional[Sequence[int]] = None,
 ) -> List[ExperimentResult]:
-    """Fig. 12: throughput (a) and latency (b) as batch size grows."""
-    results = []
-    for n in replica_counts:
-        for protocol in protocols:
-            for batch in batch_sizes:
-                results.append(
-                    run_experiment(
-                        _base_config(protocol, n, batch, duration=duration, seed=seed)
-                    )
-                )
-    return results
+    """Fig. 12: throughput (a) and latency (b) as batch size grows.
+
+    ``jobs`` fans the grid out over the parallel harness (``jobs=1``
+    stays in-process; results are identical).  ``seeds`` runs every point
+    under each seed and reports mean ± stddev instead of a single draw.
+    """
+    configs = [
+        _base_config(protocol, n, batch, duration=duration, seed=seed)
+        for n in replica_counts
+        for protocol in protocols
+        for batch in batch_sizes
+    ]
+    return _sweep(configs, jobs, seeds)
 
 
 def scalability_sweep(
@@ -80,6 +130,8 @@ def scalability_sweep(
     duration: float = 20.0,
     seed: int = 0,
     crypto: str = "hmac",
+    jobs: Optional[int] = 1,
+    seeds: Optional[Sequence[int]] = None,
 ) -> List[ExperimentResult]:
     """Fig. 13: throughput (a) and latency (b) as the replica set grows.
 
@@ -90,21 +142,18 @@ def scalability_sweep(
     ``crypto`` selects the signing backend; ``"schnorr"`` makes the sweep
     exercise the real signature/coin hot path (the configuration the
     crypto micro-optimizations are benchmarked against), at the price of
-    wall-clock.
+    wall-clock.  ``jobs`` fans the grid out over the parallel harness;
+    ``seeds`` runs every point under each seed and reports mean ± stddev.
     """
-    results = []
-    for protocol in protocols:
-        for n in replica_counts:
-            scaled = duration * max(1.0, n / 22)
-            results.append(
-                run_experiment(
-                    _base_config(
-                        protocol, n, batch_size,
-                        duration=scaled, seed=seed, crypto=crypto,
-                    )
-                )
-            )
-    return results
+    configs = [
+        _base_config(
+            protocol, n, batch_size,
+            duration=duration * max(1.0, n / 22), seed=seed, crypto=crypto,
+        )
+        for protocol in protocols
+        for n in replica_counts
+    ]
+    return _sweep(configs, jobs, seeds)
 
 
 def tradeoff_curve(
@@ -114,6 +163,7 @@ def tradeoff_curve(
     adversary: str = "none",
     duration: float = 20.0,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> List[ExperimentResult]:
     """Fig. 14 (favorable) / Fig. 15 (``adversary="worst"``): the
     latency-vs-throughput frontier, ramping batch size to saturation.
@@ -121,24 +171,20 @@ def tradeoff_curve(
     Horizons scale with the batch size so the window always holds several
     commit latencies even deep into saturation.
     """
-    results = []
-    for n in replica_counts:
-        for protocol in protocols:
-            for batch in batch_ramp:
-                scaled = duration * min(3.0, max(1.0, batch / 800))
-                results.append(
-                    run_experiment(
-                        _base_config(
-                            protocol,
-                            n,
-                            batch,
-                            adversary=adversary,
-                            duration=scaled,
-                            seed=seed,
-                        )
-                    )
-                )
-    return results
+    configs = [
+        _base_config(
+            protocol,
+            n,
+            batch,
+            adversary=adversary,
+            duration=duration * min(3.0, max(1.0, batch / 800)),
+            seed=seed,
+        )
+        for n in replica_counts
+        for protocol in protocols
+        for batch in batch_ramp
+    ]
+    return _sweep(configs, jobs, None)
 
 
 def unfavorable_curve(
@@ -147,6 +193,7 @@ def unfavorable_curve(
     batch_ramp: Sequence[int] = FIG14_BATCH_RAMP,
     duration: float = 20.0,
     seed: int = 0,
+    jobs: Optional[int] = 1,
 ) -> List[ExperimentResult]:
     """Fig. 15: the trade-off under each protocol's strongest attack."""
     return tradeoff_curve(
@@ -156,6 +203,7 @@ def unfavorable_curve(
         adversary="worst",
         duration=duration,
         seed=seed,
+        jobs=jobs,
     )
 
 
@@ -177,14 +225,17 @@ def headline_comparison(
     duration: float = 20.0,
     seed: int = 0,
     protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, Dict[str, float]]:
     """The §VI-B headline claim: at n=22, batch 1000, LightDAG1/LightDAG2
     deliver 1.69×/1.91× Tusk's throughput and cut its latency 41%/45%."""
-    measured: Dict[str, ExperimentResult] = {}
-    for protocol in protocols:
-        measured[protocol] = run_experiment(
-            _base_config(protocol, n, batch_size, duration=duration, seed=seed)
-        )
+    configs = [
+        _base_config(protocol, n, batch_size, duration=duration, seed=seed)
+        for protocol in protocols
+    ]
+    measured: Dict[str, ExperimentResult] = dict(
+        zip(protocols, run_sweep(configs, jobs=jobs).require())
+    )
     tusk = measured["tusk"]
     out: Dict[str, Dict[str, float]] = {}
     for protocol, result in measured.items():

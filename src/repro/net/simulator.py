@@ -19,16 +19,34 @@ figure.  Design points:
   controls up to ``f`` replicas and the message schedule.
 
 The hot loop is kept allocation-light on purpose (the profiling-first guide:
-the event loop dominates; everything else is protocol logic).
+the event loop dominates; everything else is protocol logic).  Three
+engine-level choices carry the throughput:
+
+* **Flat event records** — one 6-tuple ``(when, seq, kind, a, b, c)`` per
+  event instead of a nested payload tuple; ``seq`` is a plain int bumped
+  inline (no ``itertools.count`` indirection), and heap comparisons never
+  get past ``(when, seq)`` because ``seq`` is unique.
+* **Broadcast fast path** — :meth:`Simulation._enqueue_broadcast` draws
+  all ``n − 1`` latencies and pushes all copies in one pass, with the
+  crash check, stats accounting, and NIC serialization constant hoisted
+  out of the per-copy loop (everything in these protocols is a
+  broadcast).
+* **Hoisted run loop** — :meth:`Simulation.run` binds the queue, node
+  table, crash set, and the CPU/obs mode flags to locals once, and
+  accumulates ``events_processed``/``messages_delivered`` in local ints
+  that are flushed to :class:`SimulationStats` at observation points
+  (``stop_when`` probes, budget exhaustion, loop exit) rather than per
+  event.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
+import math
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence
+from dataclasses import dataclass
+from heapq import heappush as _heappush
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..errors import SimulationError
 from ..obs import NULL_OBS, Observability
@@ -63,22 +81,56 @@ class CpuCost:
         return self.fixed_s + size * self.per_byte_s
 
 
-@dataclass
 class SimulationStats:
-    """Counters accumulated over a run."""
+    """Counters accumulated over a run.
 
-    events_processed: int = 0
-    messages_sent: int = 0
-    messages_delivered: int = 0
-    messages_dropped: int = 0
-    bytes_sent: int = 0
-    final_time: float = 0.0
-    per_node_bytes: dict = field(default_factory=dict)
+    A slotted plain class, not a dataclass: the send path bumps three of
+    these counters per wire copy, and slotted attribute stores are the
+    cheapest instance mutation CPython offers.  ``per_node_bytes`` is a
+    list indexed by sender id (the simulator sizes it to the replica set
+    at construction); a bare ``SimulationStats()`` grows it on demand in
+    :meth:`record_send`.
+    """
+
+    __slots__ = (
+        "events_processed", "messages_sent", "messages_delivered",
+        "messages_dropped", "bytes_sent", "final_time", "per_node_bytes",
+    )
+
+    def __init__(
+        self,
+        events_processed: int = 0,
+        messages_sent: int = 0,
+        messages_delivered: int = 0,
+        messages_dropped: int = 0,
+        bytes_sent: int = 0,
+        final_time: float = 0.0,
+        per_node_bytes: Optional[List[int]] = None,
+    ) -> None:
+        self.events_processed = events_processed
+        self.messages_sent = messages_sent
+        self.messages_delivered = messages_delivered
+        self.messages_dropped = messages_dropped
+        self.bytes_sent = bytes_sent
+        self.final_time = final_time
+        self.per_node_bytes = per_node_bytes if per_node_bytes is not None else []
 
     def record_send(self, src: int, size: int) -> None:
         self.messages_sent += 1
         self.bytes_sent += size
-        self.per_node_bytes[src] = self.per_node_bytes.get(src, 0) + size
+        per_node = self.per_node_bytes
+        if src >= len(per_node):
+            per_node.extend([0] * (src + 1 - len(per_node)))
+        per_node[src] += size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationStats(events_processed={self.events_processed}, "
+            f"messages_sent={self.messages_sent}, "
+            f"messages_delivered={self.messages_delivered}, "
+            f"messages_dropped={self.messages_dropped}, "
+            f"bytes_sent={self.bytes_sent}, final_time={self.final_time})"
+        )
 
 
 class _SimNetworkAPI(NetworkAPI):
@@ -104,16 +156,62 @@ class _SimNetworkAPI(NetworkAPI):
     def send(self, dst: int, msg: Message) -> None:
         sim = self._sim
         src = self._node_id
-        if sim._obs_on and dst != src and src not in sim._crashed:
-            size = msg.wire_size()
+        if sim.adversary is not None:
+            # Adversarial runs take the general path; the obs per-type
+            # staging lives here (one op per send).
+            if sim._obs_on and dst != src and src not in sim._crashed:
+                size = msg.wire_size()
+                counts = sim._obs_msg_counts.get(msg.__class__)
+                if counts is None:
+                    counts = sim._obs_counts(msg.__class__)
+                counts[0] += 1
+                counts[1] += size
+                sim._enqueue_send(src, dst, msg, size)
+            else:
+                sim._enqueue_send(src, dst, msg)
+            return
+        # Fast path: no adversary — the configuration every favorable-case
+        # figure sweep runs in.  One function frame for the whole send
+        # instead of facade → _enqueue_send; obs staging (when enabled) is
+        # a dict lookup and three int bumps inline.
+        if src in sim._crashed:
+            return
+        now = sim.now
+        if dst == src:
+            seq = sim._seq
+            sim._seq = seq + 1
+            _heappush(sim._queue, (now, seq, _DELIVER, src, dst, msg))
+            return
+        size = msg.wire_size()
+        stats = sim.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        stats.per_node_bytes[src] += size
+        obs_on = sim._obs_on
+        if obs_on:
             counts = sim._obs_msg_counts.get(msg.__class__)
             if counts is None:
                 counts = sim._obs_counts(msg.__class__)
             counts[0] += 1
             counts[1] += size
-            sim._enqueue_send(src, dst, msg, size)
+        bandwidth = sim.bandwidth_bps
+        if bandwidth is not None:
+            egress = sim._egress_free
+            free = egress[src]
+            start = free if free > now else now
+            finish = start + size * 8.0 / bandwidth
+            egress[src] = finish
+            if obs_on:
+                if start > now:
+                    sim._obs_egress_waits.append(start - now)
+                else:
+                    sim._obs_egress_zero += 1
         else:
-            sim._enqueue_send(src, dst, msg)
+            finish = now
+        arrival = finish + sim.latency.delay(src, dst, sim.rng)
+        seq = sim._seq
+        sim._seq = seq + 1
+        _heappush(sim._queue, (arrival, seq, _DELIVER, src, dst, msg))
 
     def broadcast(self, msg: Message, include_self: bool = True) -> None:
         """Fan-out with one obs staging op and one wire_size for the batch.
@@ -123,7 +221,9 @@ class _SimNetworkAPI(NetworkAPI):
         ``_enqueue_send``) removes most of the per-message staging from
         the engine hot loop.  Self-delivery is never a wire copy, hence
         ``n - 1`` regardless of ``include_self`` — matching
-        ``SimulationStats``, which only records non-self sends.
+        ``SimulationStats``, which only records non-self sends.  The
+        copies themselves go through :meth:`Simulation._enqueue_broadcast`,
+        which pushes the whole fan-out in one pass.
         """
         sim = self._sim
         src = self._node_id
@@ -135,10 +235,7 @@ class _SimNetworkAPI(NetworkAPI):
                 counts = sim._obs_counts(msg.__class__)
             counts[0] += n - 1
             counts[1] += (n - 1) * size
-        enqueue = sim._enqueue_send
-        for dst in range(n):
-            if include_self or dst != src:
-                enqueue(src, dst, msg, size)
+        sim._enqueue_broadcast(src, msg, size, include_self)
 
     def set_timer(self, delay: float, tag: str, data: Any = None) -> None:
         self._sim._enqueue_timer(self._node_id, delay, tag, data)
@@ -188,7 +285,7 @@ class Simulation:
         self.cpu = cpu
         self.rng = random.Random(f"sim:{seed}")
         self.now = 0.0
-        self.stats = SimulationStats()
+        self.stats = SimulationStats(per_node_bytes=[0] * len(factories))
         self.obs = obs if obs is not None else NULL_OBS
         self._obs_on = self.obs.enabled
         #: message-type name -> (sent, bytes, delivered, dropped) counters;
@@ -212,8 +309,11 @@ class Simulation:
         self._h_egress_wait = metrics.histogram("net.egress_wait_seconds")
         self._h_cpu_wait = metrics.histogram("net.cpu_queue_wait_seconds")
         self._h_adv_delay = metrics.histogram("net.adversary_delay_seconds")
+        #: flat event records ``(when, seq, kind, a, b, c)``; deliveries
+        #: carry (src, dst, msg), timers (node_id, tag, data).  ``seq`` is
+        #: unique, so heap comparisons never reach the payload slots.
         self._queue: list = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._egress_free = [0.0] * len(factories)
         self._cpu_free = [0.0] * len(factories)
         self._crashed: set[int] = set()
@@ -254,35 +354,39 @@ class Simulation:
         copy was either dropped by the adversary, suppressed at a crashed
         receiver, is still sitting in the event queue, or reached a node.
         Counting the first three (all cold paths) plus one queue scan per
-        flush keeps the per-delivery hot path free of bookkeeping.
+        flush keeps the per-delivery hot path free of bookkeeping.  When
+        nothing was ever staged (obs enabled but no wire traffic yet) the
+        queue scan and the fold are skipped entirely.
         """
-        inflight: dict = {}
-        for _when, _seq, kind, payload in self._queue:
-            if kind == _DELIVER or kind == _PROCESS:
-                src, dst, msg = payload
-                if src != dst:
-                    cls = msg.__class__
+        if self._obs_msg_counts or self._obs_inflight_prev:
+            inflight: dict = {}
+            for ev in self._queue:
+                # kind != _TIMER → a delivery/process record (src, dst, msg)
+                if ev[2] != _TIMER and ev[3] != ev[4]:
+                    cls = ev[5].__class__
                     inflight[cls] = inflight.get(cls, 0) + 1
-        for msg_cls in {*self._obs_msg_counts, *inflight, *self._obs_inflight_prev}:
-            counts = self._obs_counts(msg_cls)
-            backlog = inflight.get(msg_cls, 0)
-            delivered = (
-                counts[0] - counts[2] - counts[3]
-                - backlog + self._obs_inflight_prev.get(msg_cls, 0)
-            )
-            sent_c, bytes_c, delivered_c, dropped_c = self._obs_msg_counters(
-                msg_cls.__name__
-            )
-            if counts[0]:
-                sent_c.inc(counts[0])
-            if counts[1]:
-                bytes_c.inc(counts[1])
-            if delivered:
-                delivered_c.inc(delivered)
-            if counts[3]:
-                dropped_c.inc(counts[3])
-            counts[0] = counts[1] = counts[2] = counts[3] = 0
-            self._obs_inflight_prev[msg_cls] = backlog
+            for msg_cls in {
+                *self._obs_msg_counts, *inflight, *self._obs_inflight_prev
+            }:
+                counts = self._obs_counts(msg_cls)
+                backlog = inflight.get(msg_cls, 0)
+                delivered = (
+                    counts[0] - counts[2] - counts[3]
+                    - backlog + self._obs_inflight_prev.get(msg_cls, 0)
+                )
+                sent_c, bytes_c, delivered_c, dropped_c = self._obs_msg_counters(
+                    msg_cls.__name__
+                )
+                if counts[0]:
+                    sent_c.inc(counts[0])
+                if counts[1]:
+                    bytes_c.inc(counts[1])
+                if delivered:
+                    delivered_c.inc(delivered)
+                if counts[3]:
+                    dropped_c.inc(counts[3])
+                counts[0] = counts[1] = counts[2] = counts[3] = 0
+                self._obs_inflight_prev[msg_cls] = backlog
         self._h_egress_wait.observe_bulk(self._obs_egress_waits)
         self._obs_egress_waits.clear()
         if self._obs_egress_zero:
@@ -297,19 +401,22 @@ class Simulation:
         if dst == src:
             # Local delivery: no propagation, no serialization, but still an
             # event so handler atomicity is preserved.
-            heapq.heappush(
-                self._queue, (self.now, next(self._seq), _DELIVER, (src, dst, msg))
-            )
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._queue, (self.now, seq, _DELIVER, src, dst, msg))
             return
         if size < 0:
             size = msg.wire_size()
-        self.stats.record_send(src, size)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        stats.per_node_bytes[src] += size
         # per-type sent/bytes staging lives in _SimNetworkAPI.send/broadcast
         # (one op per fan-out, not per copy); drops stay here.
         if self.adversary is not None:
             verdict = self.adversary.on_send(src, dst, msg, self.now)
             if verdict is None:
-                self.stats.messages_dropped += 1
+                stats.messages_dropped += 1
                 if self._obs_on:
                     self._obs_counts(msg.__class__)[3] += 1
                     self.obs.journal.emit(
@@ -339,16 +446,94 @@ class Simulation:
         else:
             finish = self.now
         arrival = finish + self.latency.delay(src, dst, self.rng) + extra_delay
-        heapq.heappush(
-            self._queue, (arrival, next(self._seq), _DELIVER, (src, dst, msg))
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (arrival, seq, _DELIVER, src, dst, msg))
+
+    def _enqueue_broadcast(
+        self, src: int, msg: Message, size: int, include_self: bool
+    ) -> None:
+        """Push the whole fan-out in one pass.
+
+        Event-for-event (and RNG-draw-for-draw) equivalent to calling
+        :meth:`_enqueue_send` once per destination in ascending ``dst``
+        order, but with the crash check, stats accounting, and the NIC
+        serialization term hoisted out of the per-copy loop.
+        """
+        if src in self._crashed:
+            return
+        queue = self._queue
+        push = heapq.heappush
+        seq = self._seq
+        now = self.now
+        n = len(self.nodes)
+        copies = n - 1
+        if copies > 0:
+            stats = self.stats
+            stats.messages_sent += copies
+            stats.bytes_sent += copies * size
+            stats.per_node_bytes[src] += copies * size
+        adversary = self.adversary
+        bandwidth = self.bandwidth_bps
+        egress = self._egress_free
+        latency_delay = self.latency.delay
+        rng = self.rng
+        obs_on = self._obs_on
+        if obs_on:
+            obs_waits_append = self._obs_egress_waits.append
+            obs_zero = 0
+        for dst in range(n):
+            if dst == src:
+                if include_self:
+                    push(queue, (now, seq, _DELIVER, src, dst, msg))
+                    seq += 1
+                continue
+            if adversary is not None:
+                verdict = adversary.on_send(src, dst, msg, now)
+                if verdict is None:
+                    self.stats.messages_dropped += 1
+                    if obs_on:
+                        self._obs_counts(msg.__class__)[3] += 1
+                        self.obs.journal.emit(
+                            now, "adversary.drop", src,
+                            dst=dst, msg=type(msg).__name__,
+                        )
+                    continue
+                extra_delay = verdict
+                if extra_delay > 0.0 and obs_on:
+                    self._h_adv_delay.observe(extra_delay)
+                    self.obs.journal.emit(
+                        now, "adversary.delay", src,
+                        dst=dst, msg=type(msg).__name__, delay_s=extra_delay,
+                    )
+            else:
+                extra_delay = 0.0
+            if bandwidth is not None:
+                free = egress[src]
+                start = free if free > now else now
+                finish = start + size * 8.0 / bandwidth
+                egress[src] = finish
+                if obs_on:
+                    if start > now:
+                        obs_waits_append(start - now)
+                    else:
+                        obs_zero += 1
+            else:
+                finish = now
+            arrival = finish + latency_delay(src, dst, rng) + extra_delay
+            push(queue, (arrival, seq, _DELIVER, src, dst, msg))
+            seq += 1
+        self._seq = seq
+        if obs_on and obs_zero:
+            self._obs_egress_zero += obs_zero
 
     def _enqueue_timer(self, node_id: int, delay: float, tag: str, data: Any) -> None:
         if delay < 0:
             raise SimulationError(f"negative timer delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
         heapq.heappush(
-            self._queue,
-            (self.now + delay, next(self._seq), _TIMER, (node_id, tag, data)),
+            self._queue, (self.now + delay, seq, _TIMER, node_id, tag, data)
         )
 
     # -- fault injection -----------------------------------------------------
@@ -362,8 +547,10 @@ class Simulation:
         if at is None or at <= self.now:
             self._crashed.add(node_id)
         else:
+            seq = self._seq
+            self._seq = seq + 1
             heapq.heappush(
-                self._queue, (at, next(self._seq), _TIMER, (node_id, "__crash__", None))
+                self._queue, (at, seq, _TIMER, node_id, "__crash__", None)
             )
 
     @property
@@ -392,34 +579,117 @@ class Simulation:
 
         ``stop_when`` is evaluated after each event — use it for
         "run until every replica committed k blocks" style experiments.
+        ``events_processed``/``messages_delivered`` are accumulated in
+        loop locals and flushed to :attr:`stats` before every
+        ``stop_when`` probe, on budget exhaustion, and at loop exit —
+        the counters are exact at every point foreign code can observe
+        them.
         """
         self.start()
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        crashed = self._crashed
+        stats = self.stats
+        cpu = self.cpu
+        cpu_cost = cpu.cost if cpu is not None else None
+        cpu_free = self._cpu_free
+        cpu_waits = self._obs_cpu_waits
+        obs_on = self._obs_on
+        limit = until if until is not None else math.inf
+        deliver, process = _DELIVER, _PROCESS
+        # Handlers prebound once per run(): one attribute hop per event
+        # instead of two.  Crash-stop goes through ``crashed``, never
+        # through the node table, so the bindings stay valid all run.
+        on_message = [node.on_message for node in self.nodes]
+        on_timer = [node.on_timer for node in self.nodes]
         processed = 0
-        while self._queue:
-            when, _, kind, payload = self._queue[0]
-            if until is not None and when > until:
+        flushed = 0
+        delivered = 0
+        while queue:
+            head = pop(queue)
+            when = head[0]
+            if when > limit:
+                # Beyond the horizon: restore the event and stop.
+                push(queue, head)
                 self.now = until
                 break
-            heapq.heappop(self._queue)
             self.now = when
-            self._dispatch(kind, payload)
+            kind = head[2]
+            if kind == deliver:
+                dst = head[4]
+                src = head[3]
+                if dst in crashed:
+                    if obs_on and src != dst:
+                        self._obs_counts(head[5].__class__)[2] += 1
+                elif cpu_cost is not None and src != dst:
+                    msg = head[5]
+                    cost = cpu_cost(msg.wire_size())
+                    free = cpu_free[dst]
+                    if free <= when:
+                        # CPU idle: hand over now; this message's cost
+                        # delays whatever arrives next.
+                        cpu_free[dst] = when + cost
+                        delivered += 1
+                        on_message[dst](src, msg)
+                    else:
+                        # CPU busy: requeue behind the backlog.
+                        if obs_on:
+                            cpu_waits.append(free - when)
+                        ready = free + cost
+                        cpu_free[dst] = ready
+                        seq = self._seq
+                        self._seq = seq + 1
+                        push(queue, (ready, seq, process, src, dst, msg))
+                else:
+                    delivered += 1
+                    on_message[dst](src, head[5])
+            elif kind == process:
+                dst = head[4]
+                if dst in crashed:
+                    if obs_on and head[3] != dst:
+                        self._obs_counts(head[5].__class__)[2] += 1
+                else:
+                    delivered += 1
+                    on_message[dst](head[3], head[5])
+            else:  # timer
+                node_id = head[3]
+                tag = head[4]
+                if tag == "__crash__":
+                    crashed.add(node_id)
+                elif node_id not in crashed:
+                    on_timer[node_id](tag, head[5])
             processed += 1
-            self.stats.events_processed += 1
             if processed >= max_events:
+                stats.events_processed += processed - flushed
+                stats.messages_delivered += delivered
                 raise SimulationError(
                     f"event budget {max_events} exhausted at t={self.now:.3f}s "
-                    f"({len(self._queue)} events pending) — runaway protocol?"
+                    f"({len(queue)} events pending) — runaway protocol?"
                 )
-            if stop_when is not None and stop_when(self):
-                break
-        self.stats.final_time = self.now
-        if self._obs_on:
+            if stop_when is not None:
+                stats.events_processed += processed - flushed
+                flushed = processed
+                stats.messages_delivered += delivered
+                delivered = 0
+                if stop_when(self):
+                    break
+        stats.events_processed += processed - flushed
+        stats.messages_delivered += delivered
+        stats.final_time = self.now
+        if obs_on:
             self._obs_flush()
-        return self.stats
+        return stats
 
     def _dispatch(self, kind: int, payload: tuple) -> None:
+        """Process one event given as ``(kind, (a, b, c))``.
+
+        Compatibility shim over the inlined run-loop logic — tests and
+        tools that single-step events use it; :meth:`run` does not.
+        """
+        a, b, c = payload
         if kind == _DELIVER:
-            src, dst, msg = payload
+            src, dst, msg = a, b, c
             if dst in self._crashed:
                 if self._obs_on and src != dst:
                     self._obs_counts(msg.__class__)[2] += 1
@@ -427,24 +697,20 @@ class Simulation:
             if self.cpu is not None and src != dst:
                 cost = self.cpu.cost(msg.wire_size())
                 if self._cpu_free[dst] <= self.now:
-                    # CPU idle: hand over now; this message's cost delays
-                    # whatever arrives next.
                     self._cpu_free[dst] = self.now + cost
                 else:
-                    # CPU busy: requeue behind the backlog.
                     if self._obs_on:
                         self._obs_cpu_waits.append(self._cpu_free[dst] - self.now)
                     ready = self._cpu_free[dst] + cost
                     self._cpu_free[dst] = ready
-                    heapq.heappush(
-                        self._queue,
-                        (ready, next(self._seq), _PROCESS, (src, dst, msg)),
-                    )
+                    seq = self._seq
+                    self._seq = seq + 1
+                    heapq.heappush(self._queue, (ready, seq, _PROCESS, src, dst, msg))
                     return
             self.stats.messages_delivered += 1
             self.nodes[dst].on_message(src, msg)
         elif kind == _PROCESS:
-            src, dst, msg = payload
+            src, dst, msg = a, b, c
             if dst in self._crashed:
                 if self._obs_on and src != dst:
                     self._obs_counts(msg.__class__)[2] += 1
@@ -452,7 +718,7 @@ class Simulation:
             self.stats.messages_delivered += 1
             self.nodes[dst].on_message(src, msg)
         else:
-            node_id, tag, data = payload
+            node_id, tag, data = a, b, c
             if tag == "__crash__":
                 self._crashed.add(node_id)
                 return

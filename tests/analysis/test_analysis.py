@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis.dagviz import dag_to_ascii, dag_to_dot
 from repro.analysis.export import load_results_json, results_to_csv, results_to_json
-from repro.analysis.stats import Aggregate, repeat_experiment
+from repro.analysis.stats import Aggregate, aggregate_results, repeat_experiment
 from repro.config import ExperimentConfig, ProtocolConfig, SystemConfig
 from repro.dag.store import DagStore
 
@@ -79,6 +79,36 @@ class TestRepeatExperiment:
     def test_invalid_repeats(self):
         with pytest.raises(ValueError):
             repeat_experiment(small_config(), repeats=0)
+
+    def test_jobs_equivalence(self):
+        a = repeat_experiment(small_config(), repeats=2, jobs=1)
+        b = repeat_experiment(small_config(), repeats=2, jobs=2)
+        assert a.throughput.samples == b.throughput.samples
+        assert a.latency.samples == b.latency.samples
+
+
+class TestAggregateResults:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_results([])
+
+    def test_single_run_gets_zero_spread(self):
+        repeated = repeat_experiment(small_config(), repeats=1)
+        agg = aggregate_results(repeated.runs)
+        assert agg.extras["seed_count"] == 1.0
+        assert agg.extras["tps_stddev"] == 0.0
+        assert agg.throughput_tps == repeated.runs[0].throughput_tps
+
+    def test_mean_and_stddev(self):
+        repeated = repeat_experiment(small_config(), repeats=3)
+        agg = aggregate_results(repeated.runs)
+        tps = [r.throughput_tps for r in repeated.runs]
+        assert agg.throughput_tps == pytest.approx(sum(tps) / 3)
+        assert agg.extras["tps_stddev"] == pytest.approx(repeated.throughput.stdev)
+        assert agg.extras["seed_count"] == 3.0
+        assert agg.config == repeated.runs[0].config
+        # Counters aggregate to per-run means, not sums.
+        assert agg.committed_txs <= max(r.committed_txs for r in repeated.runs)
 
 
 class TestExport:

@@ -95,6 +95,40 @@ class TestSweeps:
         assert results[0].config.adversary_name == "worst"
         assert results[0].throughput_tps > 0
 
+    def test_seeded_sweep_reports_spread(self):
+        """``seeds`` runs each point per seed and reports mean ± stddev."""
+        results = scalability_sweep(
+            protocols=("lightdag2",), replica_counts=(4,), duration=4.0,
+            seeds=(1, 2, 3),
+        )
+        assert len(results) == 1  # one aggregated result per sweep point
+        point = results[0]
+        assert point.extras["seed_count"] == 3.0
+        assert point.extras["tps_stddev"] >= 0.0
+        assert point.extras["latency_stddev"] >= 0.0
+        # The mean is bracketed by the per-seed runs.
+        singles = [
+            scalability_sweep(protocols=("lightdag2",), replica_counts=(4,),
+                              duration=4.0, seed=s)[0]
+            for s in (1, 2, 3)
+        ]
+        tps = [r.throughput_tps for r in singles]
+        assert min(tps) <= point.throughput_tps <= max(tps)
+        assert point.throughput_tps == pytest.approx(sum(tps) / 3)
+
+    def test_seeded_batch_sweep_grid(self):
+        results = batch_size_sweep(
+            protocols=("lightdag2",), replica_counts=(4,), batch_sizes=(50, 200),
+            duration=4.0, seeds=(1, 2), jobs=2,
+        )
+        assert len(results) == 2  # still one result per (protocol, batch) point
+        assert all(r.extras["seed_count"] == 2.0 for r in results)
+
+    def test_sweep_jobs_equivalence(self):
+        kwargs = dict(protocols=("tusk", "lightdag2"), replica_counts=(4,),
+                      duration=4.0, seed=1)
+        assert scalability_sweep(**kwargs) == scalability_sweep(jobs=2, **kwargs)
+
     def test_headline_comparison_ratios(self):
         out = headline_comparison(n=4, batch_size=100, duration=6.0, seed=1,
                                   protocols=("tusk", "lightdag2"))

@@ -100,3 +100,17 @@ class TestCommands:
         assert main(["fig", "12", "--small", "--duration", "4"]) == 0
         out = capsys.readouterr().out
         assert "tusk@n=4" in out and "lightdag2@n=7" in out
+
+    def test_fig_small_parallel(self, capsys):
+        assert main(["fig", "12", "--small", "--duration", "4",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tusk@n=4" in out and "lightdag2@n=7" in out
+
+    def test_fuzz_parallel_summary(self, capsys):
+        assert main(["fuzz", "--seeds", "2", "--duration", "4",
+                     "--protocol", "lightdag2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs in" in out
+        assert "runs/s" in out
+        assert "0 failure(s)" in out
