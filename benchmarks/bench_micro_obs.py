@@ -41,18 +41,20 @@ The pytest-benchmark fixtures report the same numbers for the records.
 import gc
 import time
 
-import pytest
-
 from repro.config import ProtocolConfig, SystemConfig
 from repro.crypto.keys import TrustedDealer
 from repro.harness.runner import PROTOCOL_REGISTRY
 from repro.net.latency import FixedLatency
 from repro.net.simulator import Simulation
-from repro.obs import EventJournal, MetricsRegistry, Observability
+from repro.obs import EventJournal, MetricsRegistry, Observability, Tracer
 
 
-def make_obs():
-    return Observability(MetricsRegistry(), EventJournal())
+def make_obs(trace=False):
+    journal = EventJournal()
+    return Observability(
+        MetricsRegistry(), journal,
+        trace=Tracer(journal) if trace else None,
+    )
 
 
 def build_sim(protocol_name="lightdag1", n=4, batch=50, seed=1,
@@ -154,6 +156,21 @@ class TestObsOverhead:
             lambda: build_sim(obs=make_obs()),
             budget=0.35,
             what="full-stack",
+        )
+
+    def test_traced_stack_overhead_bounded(self):
+        """Full stack *plus* lifecycle tracing (``repro explain``'s
+        configuration).  Each block adds a handful of trace.* milestone
+        events on top of the baseline journal volume, so this sits a few
+        points above the full-stack number.  Regression bound, not a
+        budget — the promise that matters is the engine-loop <5% with
+        tracing compiled in but disabled, which the first test enforces
+        against exactly this build."""
+        assert_overhead_under(
+            lambda: build_sim(),
+            lambda: build_sim(obs=make_obs(trace=True)),
+            budget=0.45,
+            what="traced-stack",
         )
 
     def test_instrumented_run_actually_records(self):

@@ -14,7 +14,9 @@ instrumented run):
   Replicas become processes; per-author lanes carry **dissemination**
   spans (block proposed → delivered here) and **ordering** spans (block
   delivered here → committed here) — the paper's two latency terms,
-  visible per block.
+  visible per block.  Cross-replica *flow* arrows link each proposal to
+  its remote deliveries, and lifecycle (``trace.*``) / watchdog
+  (``health.*``) events land as categorized instants.
 
 :func:`registry_summary_rows` backs the ``repro report`` CLI table.
 """
@@ -125,6 +127,18 @@ _INSTANT_TYPES = {
     "stall.rebroadcast": "recovery",
     "adversary.drop": "adversary",
     "adversary.delay": "adversary",
+    # Lifecycle trace spans (repro.obs.trace) and health alerts land as
+    # categorized instants so Perfetto can filter them per category.
+    "trace.batch": "workload",
+    "trace.quorum": "lifecycle",
+    "trace.unblocked": "lifecycle",
+    "trace.ordered": "lifecycle",
+    "trace.execute": "smr",
+    "trace.cpu_wait": "cpu",
+    "trace.repropose": "lifecycle",
+    "health.commit_stall": "health",
+    "health.retrieval_storm": "health",
+    "health.quorum_inflation": "health",
 }
 
 #: tid of the per-replica instant lane (author lanes are 1 + author).
@@ -149,6 +163,7 @@ def journal_to_chrome_trace(journal: EventJournal, path: PathLike = None) -> str
     nodes: set = set()
     proposed_at: Dict[str, float] = {}
     delivered_at: Dict[tuple, float] = {}
+    next_flow_id = 1
 
     for event in journal:
         nodes.add(event.node)
@@ -173,6 +188,26 @@ def journal_to_chrome_trace(journal: EventJournal, path: PathLike = None) -> str
                     "tid": 1 + int(author),
                     "args": {"digest": digest},
                 })
+                if event.node != author:
+                    # Perfetto flow arrow: the author's proposal → this
+                    # replica's delivery.  One flow per (digest, dst); the
+                    # start binds inside the author's own dissemination
+                    # slice, the finish (bp="e") to this replica's.
+                    flow = {
+                        "name": "propagate",
+                        "cat": "flow",
+                        "id": next_flow_id,
+                        "args": {"digest": digest},
+                    }
+                    next_flow_id += 1
+                    events.append(dict(
+                        flow, ph="s", ts=_us(start),
+                        pid=int(author), tid=1 + int(author),
+                    ))
+                    events.append(dict(
+                        flow, ph="f", bp="e", ts=_us(event.t),
+                        pid=event.node, tid=1 + int(author),
+                    ))
         elif event.type == _COMMIT:
             digest = data.get("digest")
             author = data.get("author", 0)

@@ -25,7 +25,7 @@ precisely to patch this.
 from __future__ import annotations
 
 from collections.abc import Set as AbstractSet
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..crypto.hashing import Digest
 from ..dag.block import Block
@@ -60,6 +60,9 @@ class CbcManager:
             "broadcast.retrieved_deliveries", primitive="cbc"
         )
         self.tracker = InstanceTracker(on_deliver, obs=obs, primitive="cbc")
+        #: causal tracer (None unless tracing requested): emits the
+        #: echo-quorum-crossed span, CBC's delivery predicate.
+        self._trace = obs.trace if obs.trace.enabled else None
         #: digests this replica has echoed, per slot (vote bookkeeping for
         #: protocol policies; LightDAG1 allows one entry, LightDAG2 several).
         self.votes_by_slot: Dict[Tuple[int, int], List[Digest]] = {}
@@ -110,7 +113,17 @@ class CbcManager:
     def on_echo(self, src: int, echo: BlockEcho) -> bool:
         """Count an echo; returns True if this completed a delivery."""
         inst = self.tracker.state(echo.digest)
-        inst.echoers.add(src)
+        if self._trace is None:
+            inst.echoers.add(src)
+        else:
+            before = len(inst.echoers)
+            inst.echoers.add(src)
+            if before < self.quorum <= len(inst.echoers):
+                self._trace.emit(
+                    self.net.now(), "trace.quorum", self.net.node_id,
+                    digest=echo.digest.hex()[:8], round=echo.round,
+                    author=echo.author, kind="echo", primitive="cbc",
+                )
         return self.tracker.try_deliver(inst, self._predicate(inst))
 
     def mark_ready(self, digest: Digest) -> bool:

@@ -59,6 +59,9 @@ class RbcManager:
             "broadcast.retrieved_deliveries", primitive="rbc"
         )
         self.tracker = InstanceTracker(on_deliver, obs=obs, primitive="rbc")
+        #: causal tracer (None unless tracing requested): emits the
+        #: ready-quorum-crossed span, RBC's delivery predicate.
+        self._trace = obs.trace if obs.trace.enabled else None
         self._echoed_slots: Set[Tuple[int, int]] = set()
         self._echoed_digest: Dict[Tuple[int, int], Digest] = {}
         self._slot_of_digest: Dict[Digest, Tuple[int, int]] = {}
@@ -114,7 +117,17 @@ class RbcManager:
 
     def on_ready(self, src: int, ready: BlockReady) -> bool:
         inst = self.tracker.state(ready.digest)
-        inst.readiers.add(src)
+        if self._trace is None:
+            inst.readiers.add(src)
+        else:
+            before = len(inst.readiers)
+            inst.readiers.add(src)
+            if before < self.quorum <= len(inst.readiers):
+                self._trace.emit(
+                    self.net.now(), "trace.quorum", self.net.node_id,
+                    digest=ready.digest.hex()[:8], round=ready.round,
+                    author=ready.author, kind="ready", primitive="rbc",
+                )
         self._slot_of_digest.setdefault(ready.digest, (ready.round, ready.author))
         if len(inst.readiers) >= self.amplify_threshold:
             self._maybe_send_ready(

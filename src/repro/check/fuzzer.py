@@ -68,6 +68,9 @@ class FuzzFailure:
     shrunk: Optional[FuzzCase] = None
     shrunk_error: Optional[str] = None
     shrink_attempts: int = 0
+    #: Health-watchdog verdict from replaying :meth:`minimal` with the
+    #: liveness monitor attached (see :func:`probe_health`).
+    health: Optional[Dict[str, object]] = None
 
     def minimal(self) -> FuzzCase:
         return self.shrunk if self.shrunk is not None else self.case
@@ -130,6 +133,33 @@ def run_case(
     except ReproError as exc:
         return f"{type(exc).__name__}: {exc}"
     return None
+
+
+def probe_health(
+    case: FuzzCase, registry: Optional[Dict] = None
+) -> Dict[str, object]:
+    """Replay a case with the liveness watchdog listening on the journal.
+
+    The watchdog is installed as a journal *listener*, so it keeps its
+    state even when the run dies on an oracle violation mid-flight — the
+    verdict (``stalled`` / ``degraded`` / ``no-progress``) tells the
+    investigator how the schedule was hurting *before* the oracle fired.
+    Memory stays flat: a one-slot :class:`~repro.obs.journal.
+    BoundedJournal` records counts only, and the monitor consumes events
+    as they stream past.
+    """
+    from ..obs import BoundedJournal, HealthMonitor, Observability
+
+    cfg = build_config(case)
+    journal = BoundedJournal(max_events=1)
+    watchdog = HealthMonitor(case.n)
+    watchdog.install(journal)
+    obs = Observability(journal=journal)
+    try:
+        run_experiment(cfg, obs=obs, registry=registry)
+    except ReproError:
+        pass  # the failure itself was already recorded; we want the vitals
+    return watchdog.summary()
 
 
 # ------------------------------------------------------------------ shrinking
@@ -308,6 +338,9 @@ def fuzz(
                     f"  shrunk after {attempts} attempts to: "
                     f"{failure.minimal().command()}"
                 )
+        failure.health = probe_health(failure.minimal(), registry=registry)
+        if log is not None:
+            log(f"  health verdict: {failure.health['verdict']}")
         report.failures.append(failure)
     report.elapsed = time.monotonic() - started
     return report

@@ -3,6 +3,8 @@
 Commands
 --------
 ``run``        one experiment (protocol, n, batch, adversary, …)
+``explain``    traced run + per-stage commit-latency decomposition,
+               causal critical path, and liveness/health verdict
 ``report``     instrumented run + full metrics/journal summary tables
 ``fuzz``       seed-deterministic fault-schedule sweep with invariant
                oracles on; failing cases are shrunk and reported as
@@ -43,7 +45,13 @@ from .harness.experiments import (
 from .harness.report import format_table, render_series, results_table, series_by_protocol
 from .harness.runner import PROTOCOL_REGISTRY, WORST_ATTACK, run_experiment
 from .harness.steps import measure_commit_steps, table1_rows
-from .obs import EventJournal, MetricsRegistry, Observability
+from .obs import (
+    BoundedJournal,
+    EventJournal,
+    MetricsRegistry,
+    Observability,
+    Tracer,
+)
 
 
 ADVERSARY_CHOICES = [
@@ -129,6 +137,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a Prometheus text metrics snapshot")
     run_p.add_argument("--journal", metavar="PATH",
                        help="write the structured event journal as JSONL")
+    run_p.add_argument("--journal-max-events", type=int, default=None,
+                       metavar="N",
+                       help="bound journal memory to a ring of the newest N "
+                            "events; with --journal the full log streams to "
+                            "the file as it is emitted (long-run mode). "
+                            "--trace then covers only the ring.")
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="traced run + commit-latency decomposition and health verdict",
+        description="Run one experiment with lifecycle tracing and the "
+                    "liveness watchdog on, then print where each committed "
+                    "block's latency went (broadcast / quorum / gating / "
+                    "coin / ordering), the slowest block's causal critical "
+                    "path, and the run's health verdict.",
+    )
+    explain_p.add_argument("--protocol", default="lightdag2",
+                           choices=sorted(PROTOCOL_REGISTRY))
+    explain_p.add_argument("-n", "--replicas", type=int, default=4)
+    explain_p.add_argument("--batch", type=int, default=400)
+    explain_p.add_argument("--adversary", default="none", type=_adversary,
+                           metavar="ADVERSARY")
+    explain_p.add_argument("--duration", type=float, default=10.0)
+    explain_p.add_argument("--warmup", type=float, default=2.0)
+    explain_p.add_argument("--seed", type=int, default=0)
+    explain_p.add_argument("--crypto", default="hmac",
+                           choices=["schnorr", "hmac", "null"])
+    _add_retrieval_args(explain_p)
+    _add_check_arg(explain_p)
+    explain_p.add_argument("--json", metavar="PATH",
+                           help="also write the machine-readable report JSON")
+    explain_p.add_argument("--trace", metavar="PATH",
+                           help="also write the Chrome trace_event JSON "
+                                "(Perfetto; includes lifecycle flows)")
 
     report_p = sub.add_parser(
         "report", help="instrumented run + metrics/journal summary"
@@ -231,8 +273,16 @@ def _export_obs(obs: Observability, args) -> None:
         registry_to_prometheus(obs.metrics, args.metrics)
         print(f"wrote {args.metrics}")
     if args.journal:
-        journal_to_jsonl(obs.journal, args.journal)
-        print(f"wrote {args.journal}")
+        journal = obs.journal
+        if isinstance(journal, BoundedJournal) and journal.spill_path:
+            # Streaming mode: every event already went to the file as it
+            # was emitted; re-exporting the ring would truncate the log.
+            journal.close()
+            print(f"wrote {args.journal} (streamed, "
+                  f"{journal.emitted_total} events)")
+        else:
+            journal_to_jsonl(journal, args.journal)
+            print(f"wrote {args.journal}")
 
 
 def _cmd_run(args) -> int:
@@ -246,7 +296,15 @@ def _cmd_run(args) -> int:
         print(format_table([repeated.row()], list(repeated.row())))
         results = list(repeated.runs)
     else:
-        obs = Observability(MetricsRegistry(), EventJournal()) if want_obs else None
+        obs = None
+        if want_obs:
+            if args.journal_max_events is not None:
+                journal = BoundedJournal(
+                    args.journal_max_events, spill_path=args.journal or None
+                )
+            else:
+                journal = EventJournal()
+            obs = Observability(MetricsRegistry(), journal)
         result = run_experiment(cfg, obs=obs)
         print(results_table([result]))
         results = [result]
@@ -258,6 +316,26 @@ def _cmd_run(args) -> int:
     if args.csv:
         results_to_csv(results, args.csv)
         print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from .analysis.latency import format_report, write_report
+
+    cfg = _make_config(args)
+    journal = EventJournal()
+    obs = Observability(MetricsRegistry(), journal, trace=Tracer(journal))
+    result = run_experiment(cfg, obs=obs, health=True)
+    report = result.latency_report or {}
+    print(results_table([result]))
+    print()
+    print(format_report(report))
+    if args.json:
+        write_report(report, args.json)
+        print(f"\nwrote {args.json}")
+    if args.trace:
+        journal_to_chrome_trace(journal, args.trace)
+        print(f"wrote {args.trace} (open in Perfetto / about:tracing)")
     return 0
 
 
@@ -338,6 +416,13 @@ def _cmd_fuzz(args) -> int:
         print(f"\n{failure.case.protocol} seed={failure.case.seed}: "
               f"{failure.error}")
         print(f"  reproduce: {failure.minimal().command()}")
+        if failure.health is not None:
+            alerts = failure.health.get("alerts") or {}
+            alert_note = (
+                " (" + ", ".join(f"{k}×{v}" for k, v in sorted(alerts.items()))
+                + ")" if alerts else ""
+            )
+            print(f"  health: {failure.health['verdict']}{alert_note}")
     return 1 if report.failures else 0
 
 
@@ -436,6 +521,7 @@ def _cmd_protocols(args) -> int:
 
 _HANDLERS = {
     "run": _cmd_run,
+    "explain": _cmd_explain,
     "report": _cmd_report,
     "fuzz": _cmd_fuzz,
     "table1": _cmd_table1,

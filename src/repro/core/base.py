@@ -130,6 +130,9 @@ class BaseDagNode(Node):
         #: pre-bound journal emit for hot paths (None when disabled), so
         #: per-delivery sites pay one attribute read + branch, not three.
         self._obs_emit = self.obs.journal.emit if self.obs.enabled else None
+        #: causal tracer (None unless tracing was requested) — same idiom:
+        #: span sites pay one attribute read + branch when tracing is off.
+        self._trace = self.obs.trace if self.obs.trace.enabled else None
         metrics = self.obs.metrics
         self._ctr_rounds = metrics.counter("core.rounds_advanced")
         self._ctr_delivered = metrics.counter("core.blocks_delivered")
@@ -148,6 +151,8 @@ class BaseDagNode(Node):
         self.coin: GlobalPerfectCoin = make_coin(system.crypto, keychain, system.seed)
         self.store = DagStore(system.n, strict=self.STRICT_STORE)
         self.ledger = Ledger()
+        if self._trace is not None:
+            self.ledger.bind_trace(self._trace, net.node_id)
         self.retrieval = RetrievalManager(
             net,
             self.store,
@@ -360,6 +365,16 @@ class BaseDagNode(Node):
             self._invalid.add(block.digest)
             return
         self._known.add(block.digest)
+        if self._trace is not None:
+            # Carry the parent digests so the analysis layer can walk a
+            # committed block's causal ancestry from the journal alone.
+            self._trace.emit(
+                self.net.now(), "trace.body", self.node_id,
+                round=block.round, author=block.author,
+                digest=short_hex(block.digest), src=src,
+                retrieved=retrieved,
+                parents=[short_hex(p) for p in block.parents],
+            )
         self._inspect_body(block)
         self._manager_for_round(block.round).on_val(src, block)
         self._try_accept(block, src, retrieved=retrieved)
@@ -430,6 +445,12 @@ class BaseDagNode(Node):
             self._uncovered[block.digest] = block
         self.retrieval.drop_pending(block.digest)
         for dep, src, was_retrieved in self.retrieval.satisfied_by(block.digest):
+            if self._trace is not None:
+                self._trace.emit(
+                    now, "trace.unblocked", self.node_id,
+                    digest=short_hex(dep.digest), round=dep.round,
+                    author=dep.author, by=short_hex(block.digest),
+                )
             self._finish_accept(dep, src, retrieved=was_retrieved)
         self._after_deliver(block)
         self._recheck_commits_for(block)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Set
 
-from ..crypto.hashing import Digest
+from ..crypto.hashing import Digest, short_hex
 from ..errors import ProtocolError
 from .block import Block
 
@@ -40,6 +40,17 @@ class Ledger:
         self._records: List[CommitRecord] = []
         self._committed: Set[Digest] = set()
         self._leader_count = 0
+        self._trace = None
+        self._trace_node = -1
+
+    def bind_trace(self, trace, node_id: int) -> None:
+        """Attach a tracer so appends emit ``trace.ordered`` spans.
+
+        Called by the owning node when tracing is on; the default (no
+        tracer) keeps :meth:`append` branch-only, per the obs budget.
+        """
+        self._trace = trace
+        self._trace_node = node_id
 
     # -- appends ---------------------------------------------------------------
 
@@ -65,6 +76,13 @@ class Ledger:
         )
         self._records.append(record)
         self._committed.add(block.digest)
+        if self._trace is not None:
+            self._trace.emit(
+                commit_time, "trace.ordered", self._trace_node,
+                digest=short_hex(block.digest), round=block.round,
+                author=block.author, position=record.position,
+                leader_index=leader_index,
+            )
         return record
 
     # -- queries ---------------------------------------------------------------

@@ -25,11 +25,17 @@ Guarantees:
   completed run is journalled (``sweep.run``) and counted
   (``sweep.runs_completed`` / ``sweep.runs_failed``); a plain callback
   hook serves CLI progress lines.
+* **Aggregated telemetry** — ``collect_obs=True`` instruments every run
+  inside its worker and merges the per-run metric state and journal
+  counts back into the parent's registry/journal
+  (:meth:`~repro.obs.MetricsRegistry.merge_state`), so ``--jobs N``
+  sweeps report the same aggregate telemetry a serial instrumented loop
+  would instead of dropping it.
 
 ``jobs=1`` bypasses multiprocessing entirely (same process, same thread),
-which keeps ``pdb``, coverage tooling, and per-run obs instrumentation
-working — per-run instrumentation cannot cross the pool boundary, so
-instrumented runs must stay serial.
+which keeps ``pdb``, coverage tooling, and full per-run obs
+instrumentation (live journals, tracing) working; across the pool
+boundary only the compact snapshots travel.
 
 The pool uses the ``fork`` start method when the platform offers it: forked
 workers inherit the parent's module state, which lets a *registry* of
@@ -58,7 +64,7 @@ from typing import (
 
 from ..config import ExperimentConfig
 from ..errors import SweepError
-from ..obs import NULL_OBS, Observability
+from ..obs import NULL_OBS, BoundedJournal, MetricsRegistry, Observability
 from .runner import ExperimentResult, run_experiment
 
 #: Sentinel for items a time-boxed map never ran (distinct from ``None``).
@@ -273,12 +279,39 @@ class SweepResult:
 
 
 def _experiment_worker(
-    item: Tuple[ExperimentConfig, Optional[str]], registry: Optional[Dict]
-) -> Tuple[bool, Any]:
-    """Shared-nothing unit of sweep work: config in, result (or error) out."""
-    cfg, check_level = item
+    item: Tuple[Any, ...], registry: Optional[Dict]
+) -> Tuple[Any, ...]:
+    """Shared-nothing unit of sweep work: config in, result (or error) out.
+
+    ``item`` is ``(config, check_level)`` or ``(config, check_level,
+    collect_obs)``.  With ``collect_obs`` true the run is instrumented in
+    the worker and a compact, picklable obs snapshot (full metric state +
+    journal event counts) travels back as a third tuple element — the
+    parent folds it into the sweep-level registry via
+    :meth:`~repro.obs.MetricsRegistry.merge_state`, which is what makes
+    ``--jobs N`` sweeps aggregate per-run telemetry instead of dropping
+    it.
+    """
+    cfg, check_level = item[0], item[1]
+    collect = bool(item[2]) if len(item) > 2 else False
     try:
-        return True, run_experiment(cfg, check_level=check_level, registry=registry)
+        if not collect:
+            return True, run_experiment(
+                cfg, check_level=check_level, registry=registry
+            )
+        # A 1-slot ring still counts every event incrementally — per-run
+        # journal *counts* cross the pool boundary, not the event bodies.
+        run_obs = Observability(MetricsRegistry(), BoundedJournal(max_events=1))
+        result = run_experiment(
+            cfg, obs=run_obs, check_level=check_level, registry=registry
+        )
+        result.obs = None  # the snapshot below crosses the boundary instead
+        snapshot = {
+            "metrics": run_obs.metrics.dump_state(),
+            "journal_counts": run_obs.journal.counts_by_type(),
+            "journal_events": run_obs.journal.emitted_total,
+        }
+        return True, result, snapshot
     except Exception as exc:
         return False, (type(exc).__name__, str(exc), traceback.format_exc())
 
@@ -290,15 +323,21 @@ def run_sweep(
     check_level: Optional[str] = None,
     registry: Optional[Dict] = None,
     obs: Optional[Observability] = None,
+    collect_obs: bool = False,
     progress: Optional[Callable[[int, int, ExperimentConfig, bool], None]] = None,
 ) -> SweepResult:
     """Run every config (``jobs`` at a time) and collect ordered results.
 
     ``check_level`` / ``registry`` are forwarded to every
     :func:`~repro.harness.runner.run_experiment` call.  ``obs`` instruments
-    the *sweep* (progress journal + completion counters) — per-run
-    instrumentation needs ``jobs=1`` and direct ``run_experiment`` calls,
-    since worker registries cannot be merged across processes.
+    the *sweep* (progress journal + completion counters).  With
+    ``collect_obs=True`` each worker additionally instruments its *run*
+    and ships a metrics/journal snapshot back; the parent merges every
+    run's metric state into ``obs.metrics`` (counters add, histograms
+    fold bucket-wise — see :meth:`~repro.obs.MetricsRegistry.merge_state`)
+    and journals one ``sweep.run_obs`` event per run with its journal
+    event counts, so ``--jobs N`` aggregates the same telemetry a serial
+    instrumented loop would.
     ``progress(done, total, config, ok)`` fires per completed run.
 
     Failures never kill the sweep: each is captured as a
@@ -333,7 +372,7 @@ def run_sweep(
 
     outcomes, _ = parallel_map(
         _experiment_worker,
-        [(cfg, check_level) for cfg in configs],
+        [(cfg, check_level, collect_obs) for cfg in configs],
         n_jobs,
         registry=registry,
         on_result=note,
@@ -341,10 +380,22 @@ def run_sweep(
 
     results: List[Optional[ExperimentResult]] = []
     failures: List[RunFailure] = []
+    merge_metrics = collect_obs and obs.metrics.enabled
     for index, outcome in enumerate(outcomes):
-        ok, payload = outcome
+        ok, payload = outcome[0], outcome[1]
         if ok:
             results.append(payload)
+            if len(outcome) > 2 and outcome[2] is not None:
+                snapshot = outcome[2]
+                if merge_metrics:
+                    obs.metrics.merge_state(snapshot["metrics"])
+                if obs.journal.enabled:
+                    obs.journal.emit(
+                        time.perf_counter() - started, "sweep.run_obs", -1,
+                        index=index,
+                        journal_events=snapshot["journal_events"],
+                        counts=snapshot["journal_counts"],
+                    )
         else:
             results.append(None)
             error_type, error, tb = payload

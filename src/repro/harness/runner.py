@@ -53,7 +53,7 @@ from ..dag.ledger import check_prefix_consistency
 from ..errors import ConfigError
 from ..net.latency import make_latency_model
 from ..net.simulator import CpuCost, Simulation
-from ..obs import NULL_OBS, Observability
+from ..obs import NULL_OBS, HealthMonitor, Observability
 from ..workload.metrics import MetricsCollector
 from ..workload.txgen import Mempool
 
@@ -95,6 +95,10 @@ class ExperimentResult:
     extras: Dict[str, float] = field(default_factory=dict)
     #: attached when the run was instrumented (``run_experiment(cfg, obs=...)``)
     obs: Optional[Observability] = None
+    #: run-end health verdict (``run_experiment(..., health=True)``)
+    health: Optional[Dict[str, object]] = None
+    #: per-stage commit-latency decomposition (attached for traced runs)
+    latency_report: Optional[Dict[str, object]] = None
 
     def row(self) -> Dict[str, object]:
         """Flat dict for tabular reports."""
@@ -185,6 +189,7 @@ def run_experiment(
     obs: Optional[Observability] = None,
     check_level: Optional[str] = None,
     registry: Optional[Dict[str, Type[BaseDagNode]]] = None,
+    health: bool = False,
 ) -> ExperimentResult:
     """Run one experiment to completion and collect its measurements.
 
@@ -192,6 +197,14 @@ def run_experiment(
     registry and journal are threaded through the simulator, every node,
     and all broadcast/retrieval managers, and come back attached to the
     result (``result.obs``) for export via :mod:`repro.analysis.obs_export`.
+    When its tracer is enabled, the per-stage commit-latency decomposition
+    of :mod:`repro.analysis.latency` is attached as
+    ``result.latency_report``.
+
+    ``health=True`` (requires an enabled journal) installs the
+    :class:`~repro.obs.health.HealthMonitor` watchdog: ``health.*``
+    events land in the journal and the run-end verdict is attached as
+    ``result.health``.
 
     ``check_level`` overrides ``cfg.check_level`` for this run;
     ``registry`` replaces :data:`PROTOCOL_REGISTRY` for protocol lookup
@@ -216,11 +229,20 @@ def run_experiment(
     collector = MetricsCollector(warmup=cfg.warmup, measure_until=cfg.duration)
     adversary, byz_overrides = build_adversary(cfg, node_cls)
     monitor = InvariantMonitor(obs=obs) if level == "full" else None
+    watchdog = None
+    if health and obs.journal.enabled:
+        # Listener installation swaps journal.emit — must happen before
+        # node construction, which pre-binds that method for hot paths.
+        watchdog = HealthMonitor(system.n)
+        watchdog.install(obs.journal)
 
     mempools = [
         Mempool.from_config(cfg.protocol, rate=cfg.tx_rate_per_replica)
         for _ in range(system.n)
     ]
+    if obs.trace.enabled:
+        for i, mempool in enumerate(mempools):
+            mempool.bind_trace(obs.trace, i)
 
     def factory_for(i: int):
         def make(net):
@@ -279,6 +301,16 @@ def run_experiment(
             extras["reproposals"] = extras.get("reproposals", 0) + node.reproposals
     extras["retrieval_requests"] = sum(n.retrieval.requests_sent for n in honest)
 
+    latency_report = None
+    if obs.trace.enabled:
+        from ..analysis.latency import explain_report
+
+        latency_report = explain_report(
+            obs.journal, protocol=cfg.protocol_name, n=system.n
+        )
+        if watchdog is not None:
+            latency_report["health"] = watchdog.summary(now=sim.now)
+
     return ExperimentResult(
         config=cfg,
         throughput_tps=collector.throughput(window),
@@ -292,4 +324,6 @@ def run_experiment(
         bytes_sent=sim.stats.bytes_sent,
         extras=extras,
         obs=obs if obs.enabled else None,
+        health=watchdog.summary(now=sim.now) if watchdog is not None else None,
+        latency_report=latency_report,
     )

@@ -596,6 +596,10 @@ class Simulation:
         cpu_free = self._cpu_free
         cpu_waits = self._obs_cpu_waits
         obs_on = self._obs_on
+        # Causal tracer (None unless requested): trace.enabled implies
+        # obs_on, so the emit below hides inside the staged-obs branch and
+        # the tracing-off run loop pays nothing beyond that branch.
+        trace = self.obs.trace if self.obs.trace.enabled else None
         limit = until if until is not None else math.inf
         deliver, process = _DELIVER, _PROCESS
         # Handlers prebound once per run(): one attribute hop per event
@@ -636,6 +640,12 @@ class Simulation:
                         # CPU busy: requeue behind the backlog.
                         if obs_on:
                             cpu_waits.append(free - when)
+                            if trace is not None:
+                                trace.emit(
+                                    when, "trace.cpu_wait", dst,
+                                    wait=free - when,
+                                    msg=msg.__class__.__name__,
+                                )
                         ready = free + cost
                         cpu_free[dst] = ready
                         seq = self._seq
@@ -701,6 +711,12 @@ class Simulation:
                 else:
                     if self._obs_on:
                         self._obs_cpu_waits.append(self._cpu_free[dst] - self.now)
+                        if self.obs.trace.enabled:
+                            self.obs.trace.emit(
+                                self.now, "trace.cpu_wait", dst,
+                                wait=self._cpu_free[dst] - self.now,
+                                msg=msg.__class__.__name__,
+                            )
                     ready = self._cpu_free[dst] + cost
                     self._cpu_free[dst] = ready
                     seq = self._seq

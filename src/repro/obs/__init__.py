@@ -28,7 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from .journal import Event, EventJournal, NullJournal
+from .health import HealthMonitor
+from .journal import BoundedJournal, Event, EventJournal, NullJournal
 from .registry import (
     DEFAULT_BUCKETS,
     Counter,
@@ -37,21 +38,28 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
 )
+from .trace import NULL_TRACER, NullTracer, Tracer
 
 
 class Observability:
-    """A metrics registry and an event journal travelling together."""
+    """A metrics registry, an event journal, and a tracer travelling
+    together.  The tracer defaults to the inert :data:`NULL_TRACER`, so
+    tracing is opt-in even when metrics/journal are on."""
 
-    __slots__ = ("metrics", "journal", "enabled")
+    __slots__ = ("metrics", "journal", "trace", "enabled")
 
     def __init__(
         self,
         metrics: Optional[MetricsRegistry] = None,
         journal: Optional[EventJournal] = None,
+        trace: Optional[Tracer] = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.journal = journal if journal is not None else EventJournal()
-        self.enabled = self.metrics.enabled or self.journal.enabled
+        self.trace = trace if trace is not None else NULL_TRACER
+        self.enabled = (
+            self.metrics.enabled or self.journal.enabled or self.trace.enabled
+        )
 
     def summary(self) -> Dict[str, float]:
         """Compact totals for result rows (see ``ExperimentResult.row``)."""
@@ -67,18 +75,23 @@ class Observability:
 
 
 #: Shared inert instance — the default everywhere instrumentation is optional.
-NULL_OBS = Observability(NullRegistry(), NullJournal())
+NULL_OBS = Observability(NullRegistry(), NullJournal(), NULL_TRACER)
 
 __all__ = [
+    "BoundedJournal",
     "DEFAULT_BUCKETS",
     "Counter",
     "Event",
     "EventJournal",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "NULL_OBS",
+    "NULL_TRACER",
     "NullJournal",
     "NullRegistry",
+    "NullTracer",
     "Observability",
+    "Tracer",
 ]

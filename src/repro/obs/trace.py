@@ -1,0 +1,73 @@
+"""Causal lifecycle tracing: ``trace.*`` span events over the journal.
+
+The metrics registry says how many and how long; the journal says what
+happened; tracing says **why then** — it pins the causal milestones of a
+block's (and its transactions') life so :mod:`repro.analysis.latency`
+can decompose end-to-end commit latency into stages and walk the
+blocking ancestry of any committed block.
+
+A :class:`Tracer` is a thin facade over an :class:`~repro.obs.journal.
+EventJournal`: every span milestone is just a journal event whose type
+starts with ``trace.``, so the existing exporters (JSONL, Chrome trace)
+and the determinism guarantees apply unchanged.  The milestones:
+
+=====================  ======================================================
+``trace.batch``        mempool drained into a proposal (count, mean submit t)
+``trace.body``         first valid body for a block arrived at a replica
+``trace.quorum``       the broadcast vote/echo (or ready) quorum crossed
+``trace.unblocked``    a §IV-A retrieval response unblocked pending blocks
+``trace.ordered``      the ledger appended the block (position, leader)
+``trace.execute``      the SMR replica applied the block's commands
+``trace.cpu_wait``     the CPU model queued a message behind earlier work
+``trace.repropose``    LightDAG2 Rule 2 re-proposal of an uncommitted slot
+=====================  ======================================================
+
+(``block.propose`` / ``block.deliver`` / ``block.commit`` / ``coin.reveal``
+remain the journal's own milestones; the analysis layer reads both.)
+
+Cost discipline: tracing follows the same off-by-default idiom as the
+rest of ``repro.obs`` — components resolve ``obs.trace`` once in
+``__init__`` into ``self._trace = obs.trace if obs.trace.enabled else
+None`` and hot paths pay a single ``is not None`` branch when tracing is
+compiled in but disabled (the <5% engine-overhead guard covers this).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .journal import EventJournal
+
+
+class Tracer:
+    """Emits ``trace.*`` lifecycle events into a journal."""
+
+    __slots__ = ("journal",)
+
+    enabled = True
+
+    def __init__(self, journal: "EventJournal") -> None:
+        self.journal = journal
+
+    def emit(self, t: float, type_: str, node: int = -1, **data: object) -> None:
+        # Deliberately *not* pre-bound: journal.emit is swapped when a
+        # listener (e.g. the health watchdog) is installed, and the
+        # tracer must follow.  Trace emits only fire when tracing is on,
+        # so the extra attribute hop is off the disabled-path budget.
+        self.journal.emit(t, type_, node, **data)
+
+
+class NullTracer:
+    """Do-nothing twin: the default when tracing is not requested."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def emit(self, t: float, type_: str, node: int = -1, **data: object) -> None:
+        pass
+
+
+#: Shared inert instance — the default everywhere tracing is optional.
+NULL_TRACER = NullTracer()

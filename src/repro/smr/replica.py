@@ -39,6 +39,12 @@ class SmrReplica:
         self.results: Dict[Digest, bytes] = {}
         self._nonce = itertools.count()
         self._result_listeners: List[Callable[[Command, bytes], None]] = []
+        self._trace = None
+
+    def bind_trace(self, trace) -> None:
+        """Attach a tracer so applies emit ``trace.execute`` spans — the
+        committed → executed milestone of the lifecycle."""
+        self._trace = trace
 
     # -- client side -------------------------------------------------------------
 
@@ -76,6 +82,7 @@ class SmrReplica:
 
     def on_commit(self, record: CommitRecord) -> None:
         """Apply a committed block's commands in order, exactly once."""
+        applied_before = len(self.applied_order)
         for raw in record.block.payload.items:
             try:
                 command = Command.from_bytes(raw)
@@ -89,6 +96,13 @@ class SmrReplica:
             self.results[command.command_id] = result
             for listener in self._result_listeners:
                 listener(command, result)
+        if self._trace is not None:
+            self._trace.emit(
+                record.commit_time, "trace.execute", self.replica_id,
+                digest=record.block.digest.hex()[:8],
+                position=record.position,
+                commands=len(self.applied_order) - applied_before,
+            )
 
 
 class SmrCluster:
@@ -113,17 +127,23 @@ class SmrCluster:
         protocol_name: str = "lightdag2",
         latency_model=None,
         seed: int = 0,
+        obs=None,
     ) -> "SmrCluster":
         from ..harness.runner import PROTOCOL_REGISTRY
         from ..net.latency import UniformLatency
         from ..net.simulator import Simulation
+        from ..obs import NULL_OBS
 
+        obs = obs if obs is not None else NULL_OBS
         protocol = protocol or ProtocolConfig(batch_size=64)
         node_cls: Type = PROTOCOL_REGISTRY[protocol_name]
         chains = TrustedDealer(
             system, coin_threshold=protocol.resolve_coin_threshold(system)
         ).deal()
         replicas = [SmrReplica(i, machine_factory()) for i in range(system.n)]
+        if obs.trace.enabled:
+            for replica in replicas:
+                replica.bind_trace(obs.trace)
 
         def factory(i: int):
             return lambda net: node_cls(
@@ -133,12 +153,14 @@ class SmrCluster:
                 keychain=chains[i],
                 payload_source=replicas[i].payload_source,
                 on_commit=replicas[i].on_commit,
+                obs=obs,
             )
 
         sim = Simulation(
             [factory(i) for i in range(system.n)],
             latency_model=latency_model or UniformLatency(0.01, 0.05),
             seed=seed,
+            obs=obs,
         )
         return cls(replicas=replicas, sim=sim)
 

@@ -54,6 +54,16 @@ class Mempool:
         self._accrued_until = 0.0
         self._carry = 0.0
         self.taken_total = 0
+        self._trace = None
+        self._trace_node = -1
+
+    def bind_trace(self, trace, node_id: int) -> None:
+        """Attach a tracer so drains emit ``trace.batch`` spans — the
+        tx-enqueued → batched-into-block milestone.  The span's timestamp
+        equals the proposing block's ``block.propose`` time, which is how
+        the analysis layer pairs the two."""
+        self._trace = trace
+        self._trace_node = node_id
 
     @classmethod
     def from_config(cls, protocol: ProtocolConfig, rate: float = 0.0) -> "Mempool":
@@ -83,6 +93,11 @@ class Mempool:
         """Drain up to ``batch_size`` transactions for a block proposed now."""
         if self.rate == 0.0:
             self.taken_total += self.batch_size
+            if self._trace is not None:
+                self._trace.emit(
+                    now, "trace.batch", self._trace_node,
+                    count=self.batch_size, mean_submit=now, oldest=now,
+                )
             return TxBatch(
                 count=self.batch_size,
                 tx_size=self.tx_size,
@@ -117,6 +132,12 @@ class Mempool:
         self.taken_total += n_taken
         if n_taken == 0:
             return TxBatch(count=0, tx_size=self.tx_size)
+        if self._trace is not None:
+            self._trace.emit(
+                now, "trace.batch", self._trace_node,
+                count=n_taken, mean_submit=submit_sum / n_taken,
+                oldest=samples[0] if samples else now,
+            )
         return TxBatch(
             count=n_taken,
             tx_size=self.tx_size,

@@ -14,6 +14,7 @@ from repro.check.fuzzer import (
     build_config,
     fuzz,
     make_case,
+    probe_health,
     run_case,
     shrink,
 )
@@ -101,6 +102,28 @@ class TestMutantSelfTest:
         failure = report.failures[0]
         assert "InvariantViolation" in failure.error
         assert failure.minimal().command().startswith("python -m repro fuzz")
+        # Every failure carries the watchdog's verdict from a replay of
+        # its minimal case.
+        assert failure.health is not None
+        assert failure.health["verdict"] in (
+            "healthy", "degraded", "stalled", "no-progress"
+        )
+
+
+class TestHealthProbe:
+    def test_clean_case_is_healthy(self):
+        summary = probe_health(make_case("lightdag2", 1, duration=4.0))
+        assert summary["verdict"] == "healthy"
+        assert sum(summary["commits_by_node"].values()) > 0
+
+    def test_probe_survives_oracle_violation(self):
+        seed, duration = KNOWN_BAD["lightdag1-unsafe-support"]
+        case = make_case("lightdag1-unsafe-support", seed, n=4,
+                         duration=duration)
+        summary = probe_health(case, registry=REGISTRY)
+        # The run dies on an InvariantViolation mid-flight; the watchdog
+        # still reports the vitals it saw up to that point.
+        assert "verdict" in summary and "alerts" in summary
 
 
 class TestSweep:

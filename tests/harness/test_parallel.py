@@ -156,6 +156,47 @@ class TestRunSweep:
         assert obs.metrics.counter_total("sweep.runs_completed") == 1
         assert obs.metrics.counter_total("sweep.runs_failed") == 1
 
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_collect_obs_merges_worker_state(self, jobs):
+        from repro.obs import Observability
+        from repro.obs.journal import EventJournal
+        from repro.obs.registry import MetricsRegistry
+
+        obs = Observability(MetricsRegistry(), EventJournal())
+        configs = [quick_config(seed=1), quick_config(seed=2)]
+        sweep = run_sweep(configs, jobs=jobs, obs=obs, collect_obs=True)
+        assert sweep.ok
+        # Per-run telemetry crossed the pool boundary and was folded in.
+        assert obs.metrics.counter_total("net.messages_sent") > 0
+        assert obs.metrics.counter_total("core.wave_commits") > 0
+        run_obs = [e for e in obs.journal if e.type == "sweep.run_obs"]
+        assert len(run_obs) == 2
+        assert all(e.data["journal_events"] > 0 for e in run_obs)
+
+    def test_collect_obs_merge_is_jobcount_invariant(self):
+        from repro.obs import Observability
+        from repro.obs.journal import EventJournal
+        from repro.obs.registry import MetricsRegistry
+
+        configs = [quick_config(seed=3), quick_config(seed=4)]
+        snapshots = []
+        for jobs in (1, 2):
+            obs = Observability(MetricsRegistry(), EventJournal())
+            run_sweep(configs, jobs=jobs, obs=obs, collect_obs=True)
+            snapshots.append([
+                row for row in obs.metrics.snapshot()
+                if not row["name"].startswith("sweep.")
+            ])
+        assert snapshots[0] == snapshots[1]
+
+    def test_collect_obs_without_parent_obs_is_safe(self):
+        # No parent registry to merge into: must not corrupt NULL_OBS.
+        from repro.obs import NULL_OBS
+
+        sweep = run_sweep([quick_config(seed=1)], jobs=1, collect_obs=True)
+        assert sweep.ok
+        assert len(NULL_OBS.metrics) == 0
+
     def test_jobs_clamped_to_sweep_size(self):
         sweep = run_sweep([quick_config(seed=1)], jobs=8)
         assert sweep.jobs == 1

@@ -1,13 +1,21 @@
 """Tests for repro.obs.journal and the Observability bundle."""
 
+import json
+
+import pytest
+
 from repro.obs import (
     NULL_OBS,
+    NULL_TRACER,
+    BoundedJournal,
     Event,
     EventJournal,
     MetricsRegistry,
     NullJournal,
     NullRegistry,
+    NullTracer,
     Observability,
+    Tracer,
 )
 
 
@@ -45,12 +53,118 @@ class TestEventJournal:
         assert len(journal) == 0 and journal.enabled is False
 
 
+class TestListeners:
+    def test_listener_sees_every_event(self):
+        journal = EventJournal()
+        seen = []
+        journal.add_listener(seen.append)
+        journal.emit(0.1, "a", node=1)
+        journal.emit(0.2, "b", node=2, x=3)
+        assert seen == journal.events
+        assert seen[1].data == {"x": 3}
+
+    def test_emit_bound_after_install_routes_through_listener(self):
+        # The harness installs the watchdog before nodes pre-bind
+        # journal.emit; the bound reference must be the listened path.
+        journal = EventJournal()
+        seen = []
+        journal.add_listener(seen.append)
+        emit = journal.emit
+        emit(0.5, "block.commit", node=0)
+        assert len(seen) == 1
+
+    def test_tracer_delegates_late_so_listeners_see_trace_events(self):
+        journal = EventJournal()
+        tracer = Tracer(journal)
+        seen = []
+        journal.add_listener(seen.append)  # installed after Tracer creation
+        tracer.emit(1.0, "trace.body", node=2, digest="ab")
+        assert [e.type for e in seen] == ["trace.body"]
+        assert journal.events == seen
+
+    def test_null_journal_listener_is_noop(self):
+        journal = NullJournal()
+        journal.add_listener(lambda e: (_ for _ in ()).throw(AssertionError))
+        journal.emit(0.0, "x")
+        assert len(journal) == 0
+
+
+class TestBoundedJournal:
+    def test_ring_keeps_newest(self):
+        journal = BoundedJournal(max_events=2)
+        for i in range(5):
+            journal.emit(float(i), f"t{i}")
+        assert [e.type for e in journal] == ["t3", "t4"]
+        assert journal.emitted_total == 5
+
+    def test_counts_cover_evicted_events(self):
+        journal = BoundedJournal(max_events=1)
+        for type_ in ("a", "b", "a", "a"):
+            journal.emit(0.0, type_)
+        assert journal.counts_by_type() == {"a": 3, "b": 1}
+        assert len(journal) == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedJournal(max_events=0)
+
+    def test_spill_streams_every_event(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = BoundedJournal(max_events=1, spill_path=str(path))
+        journal.emit(0.1, "a", node=1, x=1)
+        journal.emit(0.2, "b", node=2)
+        journal.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [row["type"] for row in lines] == ["a", "b"]
+        assert lines[0] == {"t": 0.1, "node": 1, "type": "a", "x": 1}
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = BoundedJournal(max_events=1, spill_path=str(tmp_path / "j"))
+        journal.close()
+        journal.close()
+
+    def test_listener_composes_with_ring(self):
+        journal = BoundedJournal(max_events=1)
+        seen = []
+        journal.add_listener(seen.append)
+        journal.emit(0.0, "a")
+        journal.emit(0.1, "b")
+        assert [e.type for e in seen] == ["a", "b"]
+        assert journal.emitted_total == 2
+        assert journal.counts_by_type() == {"a": 1, "b": 1}
+
+
+class TestTracer:
+    def test_null_tracer_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        NULL_TRACER.emit(0.0, "trace.body", node=1, digest="x")  # no-op
+
+    def test_tracer_writes_into_journal(self):
+        journal = EventJournal()
+        tracer = Tracer(journal)
+        assert tracer.enabled is True
+        tracer.emit(0.3, "trace.quorum", node=1, digest="ab", kind="echo")
+        assert journal.events == [
+            Event(0.3, 1, "trace.quorum", {"digest": "ab", "kind": "echo"})
+        ]
+
+
 class TestObservability:
     def test_enabled_follows_components(self):
         assert Observability(MetricsRegistry(), EventJournal()).enabled
         assert Observability(MetricsRegistry(), NullJournal()).enabled
         assert Observability(NullRegistry(), EventJournal()).enabled
         assert not Observability(NullRegistry(), NullJournal()).enabled
+
+    def test_trace_alone_enables(self):
+        journal = EventJournal()
+        obs = Observability(NullRegistry(), NullJournal(), trace=Tracer(journal))
+        assert obs.enabled and obs.trace.enabled
+
+    def test_default_trace_is_null(self):
+        obs = Observability(MetricsRegistry(), EventJournal())
+        assert obs.trace is NULL_TRACER
 
     def test_null_singleton_disabled(self):
         assert NULL_OBS.enabled is False

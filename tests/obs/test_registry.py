@@ -140,6 +140,117 @@ class TestMetricsRegistry:
         assert MetricsRegistry().enabled is True
 
 
+class TestHistogramBulkAndZeros:
+    def test_observe_bulk_empty_is_noop(self):
+        h = Histogram()
+        h.observe_bulk([])
+        assert h.count == 0
+        assert math.isnan(h.quantile(0.5))
+
+    def test_observe_bulk_single_observation(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe_bulk([1.5])
+        assert h.count == 1
+        assert h.min == h.max == pytest.approx(1.5)
+        assert h.bucket_counts == [0, 1, 0]
+
+    def test_observe_bulk_all_overflow(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe_bulk([10.0, 20.0, 30.0])
+        assert h.bucket_counts == [0, 0, 3]
+        # Overflow-only quantiles fall back to the exact max.
+        assert h.quantile(0.5) == pytest.approx(30.0)
+
+    def test_observe_bulk_matches_per_value_observe(self):
+        values = [0.0005, 0.003, 0.003, 0.7, 42.0]
+        bulk, serial = Histogram(), Histogram()
+        bulk.observe_bulk(values)
+        for v in values:
+            serial.observe(v)
+        assert bulk.bucket_counts == serial.bucket_counts
+        assert bulk.count == serial.count
+        assert bulk.total == pytest.approx(serial.total)
+        assert (bulk.min, bulk.max) == (serial.min, serial.max)
+
+    def test_observe_zeros_counts_and_bounds(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(2.0)
+        h.observe_zeros(3)
+        assert h.count == 4
+        assert h.min == 0.0 and h.max == 2.0
+        assert h.bucket_counts == [3, 1]
+
+    def test_quantile_single_observation(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.5)
+        # One sample: every quantile interpolates inside its bucket.
+        assert 1.0 <= h.quantile(0.01) <= 2.0
+        assert 1.0 <= h.quantile(0.99) <= 2.0
+
+
+class TestNullHistogramStaysInert:
+    def test_observe_zeros_does_not_mutate_shared_singleton(self):
+        reg = NullRegistry()
+        h = reg.histogram("h")
+        h.observe_zeros(5)
+        assert h.count == 0
+        assert h.bucket_counts == [0] * (len(h.buckets) + 1)
+        assert h.min == math.inf and h.max == -math.inf
+        # The same singleton serves every name — it must stay pristine.
+        assert reg.histogram("other").count == 0
+
+
+class TestDumpMergeState:
+    def test_roundtrip_into_fresh_registry(self):
+        src = MetricsRegistry()
+        src.counter("hits", node=0).inc(7)
+        src.gauge("depth").set(3.0)
+        src.histogram("wait", buckets=(1.0, 2.0)).observe_bulk([0.5, 1.5, 9.0])
+        dst = MetricsRegistry()
+        dst.merge_state(src.dump_state())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_counters_add_gauges_take_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        a.gauge("g").set(5.0)
+        b.counter("c").inc(3)
+        b.gauge("g").set(9.0)
+        a.merge_state(b.dump_state())
+        assert a.counter("c").value == 5.0
+        assert a.gauge("g").value == 9.0
+        # Merging the smaller gauge back does not regress the max.
+        b.gauge("g").set(1.0)
+        a.merge_state(b.dump_state())
+        assert a.gauge("g").value == 9.0
+
+    def test_histograms_fold_exactly(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe_bulk([0.5, 1.5])
+        b.histogram("h", buckets=(1.0, 2.0)).observe_bulk([1.5, 99.0])
+        a.merge_state(b.dump_state())
+        merged = a.histogram("h")
+        assert merged.bucket_counts == [1, 2, 1]
+        assert merged.count == 4
+        assert merged.total == pytest.approx(0.5 + 1.5 + 1.5 + 99.0)
+        assert merged.min == 0.5 and merged.max == 99.0
+
+    def test_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            a.merge_state(b.dump_state())
+
+    def test_merge_is_commutative_on_disjoint_series(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("only.a").inc()
+        b.counter("only.b").inc(2)
+        a.merge_state(b.dump_state())
+        assert a.counter("only.a").value == 1.0
+        assert a.counter("only.b").value == 2.0
+
+
 class TestNullRegistry:
     def test_disabled(self):
         assert NullRegistry().enabled is False

@@ -74,6 +74,42 @@ class TestCommands:
         assert not trace.exists()
         assert "ignoring" in capsys.readouterr().err
 
+    def test_run_bounded_journal_streams(self, capsys, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        assert main(["run", "--protocol", "lightdag1", "-n", "4",
+                     "--batch", "20", "--duration", "3",
+                     "--journal", str(journal),
+                     "--journal-max-events", "16"]) == 0
+        assert "streamed" in capsys.readouterr().out
+        lines = journal.read_text().splitlines()
+        # Far more events streamed to disk than the 16-slot ring holds.
+        assert len(lines) > 16
+        assert json.loads(lines[0])["type"] == "block.propose"
+
+    def test_explain_prints_breakdown(self, capsys, tmp_path):
+        report_path = tmp_path / "explain.json"
+        assert main(["explain", "-n", "4", "--batch", "20",
+                     "--duration", "3", "--warmup", "1",
+                     "--json", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "end-to-end commit latency" in out
+        assert "broadcast" in out and "ordering" in out
+        assert "reconciles with end-to-end mean" in out
+        assert "health: healthy" in out
+        report = json.loads(report_path.read_text())
+        assert report["blocks"] > 0
+        assert report["reconciliation_max_abs_error"] < 1e-9
+
+    def test_explain_trace_export_has_flows(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["explain", "-n", "4", "--batch", "20",
+                     "--duration", "3", "--trace", str(trace)]) == 0
+        parsed = json.loads(trace.read_text())
+        phases = {e["ph"] for e in parsed["traceEvents"]}
+        assert {"s", "f"} <= phases  # Perfetto flow arrows present
+        cats = {e.get("cat") for e in parsed["traceEvents"]}
+        assert "lifecycle" in cats
+
     def test_report(self, capsys):
         assert main(["report", "--protocol", "lightdag2", "-n", "4",
                      "--batch", "20", "--duration", "3"]) == 0
