@@ -48,8 +48,13 @@ MESSAGE_KINDS = ("delay", "partition")
 POINT_KINDS = ("crash",)
 #: Phase kinds that become Byzantine node-class overrides.
 NODE_KINDS = ("withhold", "equivocate")
+#: Phase kinds only the model-checking explorer interprets: an ``order``
+#: phase carries a delivery-decision path (``order@0+0:path=3|1|0``) that
+#: ``repro explore --schedule`` replays exactly.  Timed runs reject it —
+#: a decision index is meaningless against a latency-driven event queue.
+EXPLORER_KINDS = ("order",)
 
-ALL_KINDS = MESSAGE_KINDS + POINT_KINDS + NODE_KINDS
+ALL_KINDS = MESSAGE_KINDS + POINT_KINDS + NODE_KINDS + EXPLORER_KINDS
 
 
 @dataclass(frozen=True)
@@ -177,6 +182,13 @@ class FaultSchedule:
 
     def validate(self, system: SystemConfig, protocol_name: str) -> None:
         """Reject schedules the threat model does not allow."""
+        for phase in self.phases:
+            if phase.kind in EXPLORER_KINDS:
+                raise ConfigError(
+                    f"schedule phase {phase.kind!r} is an explorer replay "
+                    "artifact; replay it with "
+                    "`python -m repro explore --schedule ...`, not a timed run"
+                )
         faulty = self.faulty_replicas()
         if len(faulty) > system.f:
             raise ConfigError(

@@ -179,6 +179,7 @@ def shrink(
     registry: Optional[Dict] = None,
     max_attempts: int = 32,
     budget_s: float = 60.0,
+    runner: Optional[Callable[..., Optional[str]]] = None,
 ) -> tuple:
     """Greedy minimization: returns ``(smaller_failing_case, attempts)``.
 
@@ -186,20 +187,39 @@ def shrink(
     phase, reduce the replica count, halve the run (scaling the schedule
     with it).  Any failure counts — the shrinker minimizes "a schedule this
     protocol fails under", not one exact exception string.
+
+    Candidates are memoized by the case itself (:class:`FuzzCase` is
+    frozen, so equal cases hash alike): the move set can regenerate a
+    candidate verbatim after an unrelated move lands — e.g. the n=4
+    reduction rejected at n=6 reappears identically once n=6→5 succeeds —
+    and replaying a known verdict would burn a full simulation run from
+    both the attempt counter and the wall-clock budget.
+
+    ``runner`` replaces :func:`run_case` (tests inject a recording stub).
     """
+    run = run_case if runner is None else runner
     deadline = time.monotonic() + budget_s
     attempts = 0
     current = case
+    # The input case is a known failure — seed the memo so no move that
+    # happens to regenerate it re-runs it.
+    verdicts: Dict[FuzzCase, bool] = {case: True}
 
     def still_fails(candidate: FuzzCase) -> bool:
         nonlocal attempts
+        known = verdicts.get(candidate)
+        if known is not None:
+            return known
         if attempts >= max_attempts or time.monotonic() >= deadline:
             return False
         attempts += 1
         try:
-            return run_case(candidate, registry=registry) is not None
+            failed = run(candidate, registry=registry) is not None
         except ConfigError:
-            return False  # candidate invalid (e.g. schedule outgrew new n)
+            # candidate invalid (e.g. schedule outgrew new n)
+            failed = False
+        verdicts[candidate] = failed
+        return failed
 
     improved = True
     while improved and attempts < max_attempts and time.monotonic() < deadline:

@@ -219,6 +219,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report failures without minimizing them")
     _add_jobs_arg(fuzz_p)
 
+    explore_p = sub.add_parser(
+        "explore",
+        help="bounded model checking: exhaustive small-model search",
+        description="Enumerate every delivery interleaving of a small "
+                    "zero-latency run (DFS over scheduling decisions with "
+                    "sleep-set partial-order reduction and canonical state "
+                    "hashing), running the invariant oracles at every step "
+                    "and the deep audit at every leaf; or, with --hunt, "
+                    "exhaustively sweep a discretized fault-schedule grid "
+                    "on the timed model. Violations are shrunk and emitted "
+                    "as replayable --schedule command lines.",
+    )
+    explore_p.add_argument("--protocol", default="lightdag1", metavar="NAME",
+                           help="protocol, including registry-excluded "
+                                "mutants (default lightdag1)")
+    explore_p.add_argument("-n", "--replicas", type=int, default=4)
+    explore_p.add_argument("--rounds", type=int, default=3,
+                           help="round horizon of the order-space model "
+                                "(default 3)")
+    explore_p.add_argument("--seed", type=int, default=0)
+    explore_p.add_argument("--max-inflight", type=int, default=0,
+                           help="cap on schedulable decisions considered "
+                                "per state, canonical order (0 = all)")
+    explore_p.add_argument("--no-por", action="store_true",
+                           help="disable sleep-set partial-order reduction")
+    explore_p.add_argument("--no-state-hash", action="store_true",
+                           help="disable canonical state caching")
+    explore_p.add_argument("--reverse", action="store_true",
+                           help="visit DFS children in reverse canonical "
+                                "order (starvation-first bug hunting)")
+    explore_p.add_argument("--max-states", type=int, default=1_000_000)
+    explore_p.add_argument("--max-depth", type=int, default=0,
+                           help="depth bound on the decision path (0 = none)")
+    explore_p.add_argument("--keep-going", action="store_true",
+                           help="keep searching after the first violation")
+    explore_p.add_argument("--time-box", type=float, default=None,
+                           help="wall-clock budget in seconds")
+    explore_p.add_argument("--schedule", metavar="SPEC", default=None,
+                           help="replay one 'order' schedule instead of "
+                                "searching")
+    explore_p.add_argument("--hunt", action="store_true",
+                           help="exhaustively sweep the timed "
+                                "fault-schedule grid instead of delivery "
+                                "orders")
+    explore_p.add_argument("--duration", type=float, default=8.0,
+                           help="simulated seconds per --hunt cell")
+    explore_p.add_argument("--hunt-seeds", default="0,1,7,92",
+                           metavar="A,B,..",
+                           help="seeds swept by --hunt")
+    explore_p.add_argument("--progress", action="store_true",
+                           help="print progress to stderr while searching")
+    _add_jobs_arg(explore_p)
+
     sub.add_parser("table1", help="Table I: paper vs measured step counts")
 
     fig_p = sub.add_parser("fig", help="regenerate a figure sweep")
@@ -426,6 +479,99 @@ def _cmd_fuzz(args) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_explore(args) -> int:
+    # Lazy import, like the fuzzer: the explorer pulls in the harness and
+    # the mutant registry.
+    from .check.explorer import (
+        ExploreConfig,
+        HuntConfig,
+        default_registry,
+        explore,
+        hunt,
+        replay_schedule,
+    )
+
+    registry = default_registry()
+    if args.protocol not in registry:
+        print(f"unknown protocol {args.protocol!r}; choose from "
+              f"{', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+
+    if args.hunt:
+        def hunt_progress(report) -> None:
+            print(f"  {report.cells_explored} cells, "
+                  f"{len(report.violations)} violation(s)", file=sys.stderr)
+
+        seeds = tuple(
+            int(s) for s in args.hunt_seeds.split(",") if s.strip() != ""
+        )
+        hunt_cfg = HuntConfig(
+            protocol=args.protocol,
+            n=args.replicas,
+            seeds=seeds,
+            duration=args.duration,
+            stop_on_violation=not args.keep_going,
+            time_box_s=args.time_box,
+        )
+        report = hunt(
+            hunt_cfg, registry=registry, jobs=args.jobs,
+            progress=hunt_progress if args.progress else None,
+        )
+        suffix = "" if report.complete else " (stopped early)"
+        print(f"hunt: {report.cells_explored} cells explored, "
+              f"{report.cells_pruned} pruned, {len(report.violations)} "
+              f"violation(s) in {report.elapsed:.1f}s{suffix}")
+        for v in report.violations:
+            print(f"\n{v.protocol} seed={v.seed}: {v.error}")
+            print(f"  reproduce: {v.command}")
+        return 1 if report.violations else 0
+
+    cfg = ExploreConfig(
+        protocol=args.protocol,
+        n=args.replicas,
+        max_rounds=args.rounds,
+        seed=args.seed,
+        max_inflight=args.max_inflight,
+        por=not args.no_por,
+        state_hash=not args.no_state_hash,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+        time_box_s=args.time_box,
+        stop_on_violation=not args.keep_going,
+        reverse=args.reverse,
+    )
+    if args.schedule is not None:
+        violation = replay_schedule(cfg, args.schedule, registry=registry)
+        if violation is None:
+            print("OK: schedule replayed without violation")
+            return 0
+        print(f"FAIL: {violation.error}")
+        print(f"  reproduce: {violation.command}")
+        return 1
+
+    def explore_progress(report) -> None:
+        print(f"  {report.states_explored} states, "
+              f"{report.states_pruned} pruned, depth<="
+              f"{report.max_depth_seen}", file=sys.stderr)
+
+    report = explore(
+        cfg, registry=registry, jobs=args.jobs,
+        progress=explore_progress if args.progress else None,
+    )
+    status = "complete" if report.complete else "incomplete"
+    print(f"explore: {report.states_explored} states explored, "
+          f"{report.states_pruned} pruned, {report.distinct_states} "
+          f"distinct, {report.leaves} leaves, {report.sleep_skips} sleep "
+          f"skips, depth<={report.max_depth_seen} in {report.elapsed:.1f}s "
+          f"({status})")
+    for v in report.violations:
+        where = "leaf" if v.at_leaf else "step"
+        print(f"\n{v.oracle} ({where}, {len(v.path)} decisions): {v.error}")
+        print(f"  schedule: {v.schedule}")
+        print(f"  reproduce: {v.command}")
+    return 1 if report.violations else 0
+
+
 def _cmd_table1(args) -> int:
     rows = table1_rows()
     print(format_table(rows, [
@@ -524,6 +670,7 @@ _HANDLERS = {
     "explain": _cmd_explain,
     "report": _cmd_report,
     "fuzz": _cmd_fuzz,
+    "explore": _cmd_explore,
     "table1": _cmd_table1,
     "fig": _cmd_fig,
     "steps": _cmd_steps,

@@ -110,6 +110,18 @@ class BaseDagNode(Node):
     SUPPORT_DEPTH = 1
     STRICT_STORE = True
 
+    #: Attributes the model-checking explorer (:mod:`repro.check.explorer`)
+    #: excludes when fingerprinting a replica's state: the immutable
+    #: environment (configs, wave geometry, crypto backend, network facade)
+    #: and the harness callbacks.  Everything else on the instance is
+    #: protocol state and *must* participate in the canonical state hash —
+    #: adding an attribute here hides it from revisit pruning, so only list
+    #: things that provably cannot influence future behaviour.
+    FINGERPRINT_SKIP = frozenset({
+        "net", "obs", "system", "protocol", "wave", "backend",
+        "payload_source", "on_commit", "on_deliver_hook", "_obs_emit",
+    })
+
     def __init__(
         self,
         net: NetworkAPI,

@@ -121,6 +121,19 @@ class _Request:
 class RetrievalManager:
     """Per-replica retrieval state machine."""
 
+    #: Explorer fingerprint exclusions (see ``BaseDagNode.FINGERPRINT_SKIP``):
+    #: the environment (``store`` is fingerprinted once via the owning
+    #: node), the jitter RNG (its draws only shape retry *timers*, which the
+    #: explorer's zero-time model never fires — two interleavings reaching
+    #: the same protocol state may differ in RNG position), and reporting
+    #: counters that mirror history rather than influence behaviour.
+    FINGERPRINT_SKIP = frozenset({
+        "net", "obs", "store", "rng",
+        "requests_sent", "responses_sent", "blocks_served",
+        "fanout_escalations", "abandoned_count", "rate_limited_count",
+        "oversized_requests", "garbage_rejected", "max_retries_seen",
+    })
+
     def __init__(
         self,
         net: NetworkAPI,
@@ -221,7 +234,12 @@ class RetrievalManager:
         for parent in entry.missing:
             self._dependents.setdefault(parent, set()).add(block.digest)
         self._gauge_pending.set(len(self._pending))
-        self._request(list(entry.missing), src)
+        # Sorted, not set-order: ``missing`` is a set of digests, and bytes
+        # hashing varies with PYTHONHASHSEED — iterating it here would leak
+        # the hash seed into request contents and RNG draw order, breaking
+        # the bit-identical-replay guarantee across processes (the explorer
+        # shards subtrees to worker processes and replays prefixes there).
+        self._request(sorted(entry.missing), src)
         return True
 
     def is_pending(self, digest: Digest) -> bool:
@@ -260,9 +278,12 @@ class RetrievalManager:
         entry = self._pending.get(pending_digest)
         if entry is None:
             return
+        # Sorted for the same cross-process determinism reason as in
+        # :meth:`note_pending` — request digest order must not depend on
+        # set iteration order.
         stale = [
             d
-            for d in entry.missing
+            for d in sorted(entry.missing)
             if d not in self.store and d not in self._inflight
         ]
         if stale:
@@ -506,7 +527,10 @@ class RetrievalManager:
         if not deps:
             return []
         ready: List[Tuple[Block, int, bool]] = []
-        for dep_digest in deps:
+        # ``deps`` is a set of digests; the iteration order here decides the
+        # order parked blocks are re-accepted (and hence send order at the
+        # caller), so it must be canonical, not hash-seed dependent.
+        for dep_digest in sorted(deps):
             entry = self._pending.get(dep_digest)
             if entry is None:
                 continue

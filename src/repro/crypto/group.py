@@ -142,6 +142,18 @@ class SchnorrGroup:
     def from_safe_prime(cls, sp: SafePrime) -> "SchnorrGroup":
         return cls(p=sp.p, q=sp.q, g=sp.g)
 
+    # The group is a value object whose only mutable state is the
+    # comb-table / membership caches — pure, positive-only derivations of
+    # ``(p, q, g)``.  ``default_group`` hands out a process-wide singleton,
+    # and simulator snapshots must preserve that: copying the group would
+    # both fork tens of MiB of comb tables per branch and silently break
+    # the "one group per (p, q, g)" identity the caches rely on.
+    def __copy__(self) -> "SchnorrGroup":
+        return self
+
+    def __deepcopy__(self, memo) -> "SchnorrGroup":
+        return self
+
     # -- fixed-base registration --------------------------------------------
 
     def register_fixed_base(self, base: int) -> None:

@@ -78,6 +78,14 @@ class TxBatch:
     def mean_submit_time(self) -> float:
         return self.submit_time_sum / self.count if self.count else 0.0
 
+    # Batches are frozen values; snapshot/restore (repro.net.simulator.
+    # SimulatorSnapshot) must share them rather than fork per branch.
+    def __copy__(self) -> "TxBatch":
+        return self
+
+    def __deepcopy__(self, memo) -> "TxBatch":
+        return self
+
 
 EMPTY_BATCH = TxBatch(count=0, tx_size=0)
 
@@ -130,6 +138,16 @@ class Block:
             )
             object.__setattr__(self, "_wire_size", size)
         return size
+
+    # Blocks are immutable (the ``_wire_size`` memo is an idempotent cache
+    # of a pure function); simulator snapshots share them across branches
+    # instead of deep-copying — identity of a block never matters, only its
+    # digest, so aliasing between branches is safe and keeps snapshots O(state).
+    def __copy__(self) -> "Block":
+        return self
+
+    def __deepcopy__(self, memo) -> "Block":
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -6,7 +6,11 @@ simulated runs; a single CPython process leaves every other core idle.
 This module fans a list of :class:`~repro.config.ExperimentConfig`\\ s out
 over a pool of **shared-nothing workers**: a config goes in (pickled), an
 :class:`~repro.harness.runner.ExperimentResult` comes back, and nothing
-else crosses the process boundary.
+else crosses the process boundary.  The generic layer
+(:func:`parallel_map`) also backs ``repro explore --jobs``: the explorer
+ships choice-prefix subtrees (and hunt-grid cells) to workers the same
+shared-nothing way, which is why its sharded state counts are identical
+at any job count.
 
 Guarantees:
 

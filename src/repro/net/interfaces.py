@@ -34,6 +34,18 @@ class Message(ABC):
     def wire_size(self) -> int:
         """Modeled encoded size in bytes."""
 
+    # Messages are frozen values (the only mutation anywhere is the
+    # idempotent ``_wire_size`` memo below).  Simulator snapshots
+    # (:class:`repro.net.simulator.SimulatorSnapshot`) therefore share
+    # in-flight messages between branches instead of forking them — a
+    # branch can never observe a difference, and copies would dominate
+    # snapshot cost during state-space exploration.
+    def __copy__(self) -> "Message":
+        return self
+
+    def __deepcopy__(self, memo) -> "Message":
+        return self
+
 
 class SizedMessage(Message):
     """A message whose wire size is computed once and then memoized.

@@ -61,6 +61,15 @@ class Observability:
             self.metrics.enabled or self.journal.enabled or self.trace.enabled
         )
 
+    # Observability is a bundle of shared sinks; snapshot/restore cycles
+    # alias it (and its members — each is its own shared sink) rather than
+    # forking telemetry per explored branch.
+    def __copy__(self) -> "Observability":
+        return self
+
+    def __deepcopy__(self, memo) -> "Observability":
+        return self
+
     def summary(self) -> Dict[str, float]:
         """Compact totals for result rows (see ``ExperimentResult.row``)."""
         m = self.metrics

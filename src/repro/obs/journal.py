@@ -58,6 +58,15 @@ class EventJournal:
         self.events: List[Event] = []
         self._listeners: List[Callable[[Event], None]] = []
 
+    # Journals are shared sinks: simulator snapshots must keep every
+    # emitter pointed at the one live journal (see ``_SharedSink`` in
+    # :mod:`repro.obs.registry`), not fork the event log per branch.
+    def __copy__(self) -> "EventJournal":
+        return self
+
+    def __deepcopy__(self, memo) -> "EventJournal":
+        return self
+
     def emit(self, t: float, type_: str, node: int = -1, **data: object) -> None:
         self.events.append(Event(t, node, type_, data))
 

@@ -35,7 +35,28 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 )
 
 
-class Counter:
+class _SharedSink:
+    """Mixin marking observability objects as process-wide shared sinks.
+
+    Instruments, registries, journals, and tracers are *channels*, not
+    simulation state: protocol objects hold direct references to them
+    (``self._ctr_x = obs.metrics.counter(...)``), and a snapshot/restore
+    cycle (:class:`repro.net.simulator.SimulatorSnapshot`) must keep every
+    holder pointed at the one live sink rather than forking private copies
+    per branch — forked copies would silently swallow telemetry after a
+    restore.  Copy protocols therefore return ``self``.
+    """
+
+    __slots__ = ()
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+class Counter(_SharedSink):
     """Monotonically increasing value."""
 
     __slots__ = ("value",)
@@ -51,7 +72,7 @@ class Counter:
         return {"value": self.value}
 
 
-class Gauge:
+class Gauge(_SharedSink):
     """Point-in-time value (set or adjusted)."""
 
     __slots__ = ("value",)
@@ -70,7 +91,7 @@ class Gauge:
         return {"value": self.value}
 
 
-class Histogram:
+class Histogram(_SharedSink):
     """Fixed-bucket distribution with exact count/sum/min/max."""
 
     __slots__ = ("buckets", "bucket_counts", "count", "total", "min", "max")
@@ -168,7 +189,7 @@ def _label_items(labels: Dict[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
-class MetricsRegistry:
+class MetricsRegistry(_SharedSink):
     """Get-or-create registry of labeled instruments.
 
     One registry serves one experiment run; every node, manager, and the

@@ -50,6 +50,13 @@ class Tracer:
     def __init__(self, journal: "EventJournal") -> None:
         self.journal = journal
 
+    # Shared sink: snapshots alias the tracer, never fork it.
+    def __copy__(self) -> "Tracer":
+        return self
+
+    def __deepcopy__(self, memo) -> "Tracer":
+        return self
+
     def emit(self, t: float, type_: str, node: int = -1, **data: object) -> None:
         # Deliberately *not* pre-bound: journal.emit is swapped when a
         # listener (e.g. the health watchdog) is installed, and the
@@ -64,6 +71,12 @@ class NullTracer:
     __slots__ = ()
 
     enabled = False
+
+    def __copy__(self) -> "NullTracer":
+        return self
+
+    def __deepcopy__(self, memo) -> "NullTracer":
+        return self
 
     def emit(self, t: float, type_: str, node: int = -1, **data: object) -> None:
         pass

@@ -146,3 +146,39 @@ class TestSweep:
         )
         assert report.timed_out
         assert report.runs <= 1
+
+
+class TestShrinkMemoization:
+    def test_shrink_never_replays_a_rejected_candidate(self):
+        """Regression: the move set regenerates candidates verbatim — the
+        n=4 reduction rejected at n=6 reappears identically once n=6->5
+        lands — and each replay used to burn a full simulation run from
+        the attempt counter.  With the memo, every executed candidate is
+        distinct."""
+        from repro.adversary.schedule import FaultSchedule
+
+        full = FaultSchedule.from_spec(
+            "partition@1+1.5:group=1;crash@2+0:victims=2"
+        ).to_spec()
+        # duration=3.0 disables the halving move, so the only moves are
+        # phase drops and replica reduction — the regeneration scenario.
+        base = FuzzCase(
+            protocol="lightdag1", seed=0, n=6, duration=3.0, schedule=full
+        )
+        calls = []
+
+        def runner(candidate, registry=None):
+            calls.append(candidate)
+            failing = candidate.n >= 5 and candidate.schedule == full
+            return "InvariantViolation: synthetic" if failing else None
+
+        shrunk, attempts = shrink(base, runner=runner, budget_s=60.0)
+        # The stub's fixed point: n=5 with the full schedule.
+        assert shrunk.n == 5
+        assert shrunk.schedule == full
+        # Every runner call burned one attempt, and the n=4 candidate —
+        # regenerated at n=5 after its rejection at n=6 — came from the
+        # memo, so no candidate ever executed twice.
+        assert attempts == len(calls)
+        assert len(calls) == len(set(calls))
+        assert base not in calls  # the seed verdict is pre-memoized
