@@ -16,6 +16,12 @@
 
 from .dagviz import dag_to_ascii, dag_to_dot
 from .export import results_to_csv, results_to_json
+from .loadreport import (
+    format_load_summary,
+    format_sweep_table,
+    loadtest_results_to_json,
+    render_saturation_figure,
+)
 from .obs_export import (
     journal_to_chrome_trace,
     journal_to_jsonl,
@@ -32,10 +38,14 @@ __all__ = [
     "RepeatedResult",
     "dag_to_ascii",
     "dag_to_dot",
+    "format_load_summary",
+    "format_sweep_table",
     "journal_to_chrome_trace",
     "journal_to_jsonl",
     "load_journal_jsonl",
+    "loadtest_results_to_json",
     "percentile",
+    "render_saturation_figure",
     "registry_summary_rows",
     "registry_to_prometheus",
     "repeat_experiment",

@@ -1,0 +1,259 @@
+"""Rendering for end-to-end load tests: summary, sweep table, ASCII figure.
+
+The single-run summary follows the lightDAG benchmark harness's output
+shape — a ``SUMMARY`` block with a CONFIG section and a RESULTS section
+that prints **Consensus TPS / Consensus latency** and **End-to-end TPS /
+End-to-end latency** side by side.  The two pairs answer different
+questions: consensus latency is proposal→commit (what the protocol
+figures plot); end-to-end latency is client submit→committed result,
+which additionally pays the admission-queue wait.  Their divergence *is*
+the saturation signal.
+
+The saturation figure is ASCII (this environment has no plotting
+dependency) plus a JSON export carrying every number the chart rounds
+away; both go wherever ``repro loadtest --sweep`` points them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Sequence
+
+__all__ = [
+    "format_load_summary",
+    "loadtest_rows",
+    "format_sweep_table",
+    "render_saturation_figure",
+    "loadtest_results_to_json",
+]
+
+
+def _fmt_tps(x: float) -> str:
+    return f"{x:,.0f} tx/s" if math.isfinite(x) else "n/a"
+
+
+def _fmt_ms(x: float) -> str:
+    return f"{x * 1000:,.0f} ms" if math.isfinite(x) else "n/a"
+
+
+def format_load_summary(result) -> str:
+    """One run, rendered as the benchmark-harness SUMMARY block."""
+    cfg = result.config
+    wl = cfg.workload
+    adm = cfg.admission
+    if wl.mode == "open":
+        load_line = f" Input rate: {wl.rate:,.0f} tx/s ({wl.arrival})"
+    else:
+        load_line = (
+            f" Closed loop: {wl.outstanding} outstanding/client, "
+            f"think {wl.think_s * 1000:.0f} ms"
+        )
+    policy = (
+        f"{adm.policy}, max_pending={adm.max_pending}"
+        + (f", per_client_cap={adm.per_client_cap}" if adm.per_client_cap else "")
+        if (adm.max_pending or adm.per_client_cap)
+        else "unbounded"
+    )
+    lines = [
+        "-----------------------------------------",
+        " SUMMARY:",
+        "-----------------------------------------",
+        " + CONFIG:",
+        f" Protocol: {cfg.protocol_name}",
+        f" Committee size: {cfg.n} nodes",
+        f" Clients: {wl.clients} ({wl.mode} loop)",
+        load_line,
+        f" Op mix SET/GET/DEL/CAS: {'/'.join(f'{w:g}' for w in wl.mix)}",
+        f" Keyspace: {wl.keys} keys, zipf {wl.zipf:g}"
+        + (" (shared)" if wl.shared_keys else " (per-client)"),
+        f" Admission: {policy}",
+        f" Batch size: {cfg.batch_size} tx/block",
+        f" Execution time: {cfg.duration:g} s (warmup {cfg.warmup:g} s)",
+        "",
+        " + RESULTS:",
+        f" Consensus TPS: {_fmt_tps(result.consensus_tps)}",
+        f" Consensus latency: {_fmt_ms(result.consensus_mean_s)}"
+        f" (p50 {_fmt_ms(result.consensus_p50_s)},"
+        f" p95 {_fmt_ms(result.consensus_p95_s)})",
+        "",
+        f" End-to-end TPS: {_fmt_tps(result.e2e_tps)}",
+        f" End-to-end latency: {_fmt_ms(result.e2e_mean_s)}"
+        f" (p50 {_fmt_ms(result.e2e_p50_s)},"
+        f" p99 {_fmt_ms(result.e2e_p99_s)},"
+        f" p999 {_fmt_ms(result.e2e_p999_s)})",
+        "",
+        f" Submitted: {result.submitted:,}   Completed: {result.completed:,}"
+        f"   Rejected: {result.rejected:,}   Shed: {result.shed:,}"
+        f"   Retries: {result.retries:,}",
+        f" Peak admission queue depth: {result.max_pending_depth:,}",
+    ]
+    if result.verified:
+        lines.append(
+            f" Verified responses: {result.verified:,}"
+            f" ({result.verify_failures} mismatches)"
+        )
+    lines.append("-----------------------------------------")
+    return "\n".join(lines)
+
+
+def loadtest_rows(results: Sequence) -> List[Dict[str, object]]:
+    return [r.row() for r in results]
+
+
+def format_sweep_table(results: Sequence) -> str:
+    """Fixed-width offered-rate table (one loadtest per row)."""
+    from ..harness.report import format_table
+
+    return format_table(
+        loadtest_rows(results),
+        [
+            "offered_tps", "e2e_tps", "consensus_tps",
+            "consensus_s", "e2e_p50_s", "e2e_p99_s", "e2e_p999_s",
+            "rejected", "shed", "max_depth",
+        ],
+    )
+
+
+def render_saturation_figure(
+    results: Sequence, width: int = 60, height: int = 16
+) -> str:
+    """ASCII chart: offered rate (x) vs latency (y, log scale).
+
+    Plots three series — consensus mean (``c``), end-to-end p50 (``*``),
+    end-to-end p99 (``#``) — so the knee is visible as the point where the
+    client-side curves peel away from the flat consensus line.  Rates
+    where admission control dropped work are flagged ``!`` on the x-axis:
+    past the knee the queue bound converts overload into visible sheds
+    instead of unbounded latency/memory.
+    """
+    points = []
+    for r in results:
+        series = {
+            "c": r.consensus_mean_s,
+            "*": r.e2e_p50_s,
+            "#": r.e2e_p99_s,
+        }
+        points.append((r.offered_rate, series, (r.rejected + r.shed) > 0))
+    points.sort(key=lambda p: p[0])
+    values = [
+        v for _, series, _ in points for v in series.values()
+        if math.isfinite(v) and v > 0
+    ]
+    if not points or not values:
+        return "(no finite latency samples to plot)"
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        hi = lo * 10
+    log_lo, log_hi = math.log10(lo), math.log10(hi)
+    span = log_hi - log_lo
+
+    def row_of(v: float) -> int:
+        frac = (math.log10(v) - log_lo) / span
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    def col_of(i: int) -> int:
+        if len(points) == 1:
+            return 0
+        return round(i * (width - 1) / (len(points) - 1))
+
+    grid = [[" "] * width for _ in range(height)]
+    drops = [" "] * width
+    for i, (_, series, dropped) in enumerate(points):
+        col = col_of(i)
+        if dropped:
+            drops[col] = "!"
+        # Draw c under * under # so overlapping cells show the worst series.
+        for marker in ("c", "*", "#"):
+            v = series[marker]
+            if math.isfinite(v) and v > 0:
+                grid[row_of(v)][col] = marker
+
+    lines = ["latency (log scale)    c=consensus mean  *=e2e p50  #=e2e p99"]
+    for row in range(height - 1, -1, -1):
+        frac = row / (height - 1)
+        label = 10 ** (log_lo + frac * span)
+        lines.append(f"{label * 1000:>9.1f}ms |{''.join(grid[row])}")
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + "".join(drops))
+    first, last = points[0][0], points[-1][0]
+    tail = f"{last:,.0f} tx/s offered"
+    lines.append(
+        " " * 12 + f"{first:,.0f}".ljust(max(1, width - len(tail))) + tail
+    )
+    if any(d == "!" for d in drops):
+        lines.append(" " * 12 + "! = admission control dropped work (bounded queue)")
+    return "\n".join(lines)
+
+
+def loadtest_results_to_json(results: Sequence, indent: int = 2) -> str:
+    """Sweep points with full config context, ready for external plotting."""
+    payload = []
+    for r in results:
+        cfg = r.config
+        wl = cfg.workload
+        payload.append(
+            {
+                "config": {
+                    "protocol": cfg.protocol_name,
+                    "n": cfg.n,
+                    "batch_size": cfg.batch_size,
+                    "latency_model": cfg.latency_model,
+                    "duration_s": cfg.duration,
+                    "warmup_s": cfg.warmup,
+                    "seed": cfg.seed,
+                    "mode": wl.mode,
+                    "clients": wl.clients,
+                    "arrival": wl.arrival,
+                    "rate_tps": wl.rate,
+                    "outstanding": wl.outstanding,
+                    "think_s": wl.think_s,
+                    "keys": wl.keys,
+                    "zipf": wl.zipf,
+                    "mix": list(wl.mix),
+                    "shared_keys": wl.shared_keys,
+                    "admission": {
+                        "max_pending": cfg.admission.max_pending,
+                        "policy": cfg.admission.policy,
+                        "per_client_cap": cfg.admission.per_client_cap,
+                    },
+                },
+                "offered_tps": r.offered_rate,
+                "consensus": {
+                    "tps": r.consensus_tps,
+                    "mean_s": r.consensus_mean_s,
+                    "p50_s": r.consensus_p50_s,
+                    "p95_s": r.consensus_p95_s,
+                },
+                "e2e": {
+                    "tps": r.e2e_tps,
+                    "mean_s": r.e2e_mean_s,
+                    "p50_s": r.e2e_p50_s,
+                    "p99_s": r.e2e_p99_s,
+                    "p999_s": r.e2e_p999_s,
+                },
+                "traffic": {
+                    "submitted": r.submitted,
+                    "completed": r.completed,
+                    "rejected": r.rejected,
+                    "shed": r.shed,
+                    "retries": r.retries,
+                    "verified": r.verified,
+                    "verify_failures": r.verify_failures,
+                    "max_pending_depth": r.max_pending_depth,
+                },
+                "admission_totals": r.admission,
+            }
+        )
+
+    def _scrub(obj):
+        # NaN is not valid JSON; emit null for empty-sample statistics.
+        if isinstance(obj, float) and not math.isfinite(obj):
+            return None
+        if isinstance(obj, dict):
+            return {k: _scrub(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [_scrub(v) for v in obj]
+        return obj
+
+    return json.dumps(_scrub(payload), indent=indent)

@@ -9,6 +9,10 @@ Commands
 ``fuzz``       seed-deterministic fault-schedule sweep with invariant
                oracles on; failing cases are shrunk and reported as
                reproducible command lines
+``loadtest``   end-to-end client traffic against the replicated KV:
+               open/closed-loop populations, admission control, and a
+               consensus-vs-end-to-end summary; ``--sweep`` ramps the
+               offered rate and renders the saturation knee
 ``table1``     regenerate Table I (paper vs measured communication steps)
 ``fig``        regenerate a figure sweep (12, 13, 14 or 15)
 ``steps``      measure one protocol's commit latency in steps
@@ -52,6 +56,7 @@ from .obs import (
     Observability,
     Tracer,
 )
+from .workload.clients import ARRIVAL_KINDS
 
 
 ADVERSARY_CHOICES = [
@@ -271,6 +276,74 @@ def build_parser() -> argparse.ArgumentParser:
     explore_p.add_argument("--progress", action="store_true",
                            help="print progress to stderr while searching")
     _add_jobs_arg(explore_p)
+
+    load_p = sub.add_parser(
+        "loadtest",
+        help="end-to-end client load against the replicated KV",
+        description="Drive the repro.smr KV service with a client "
+                    "population (open or closed loop) and report consensus "
+                    "TPS/latency next to client-observed end-to-end "
+                    "TPS/latency. With --sweep, ramp the offered rate "
+                    "across the given points and render the saturation "
+                    "knee (ASCII figure + JSON).",
+    )
+    load_p.add_argument("--protocol", default="lightdag2",
+                        choices=sorted(PROTOCOL_REGISTRY))
+    load_p.add_argument("-n", "--replicas", type=int, default=4)
+    load_p.add_argument("--batch", type=int, default=64,
+                        help="commands per block proposal (the capacity knob)")
+    load_p.add_argument("--duration", type=float, default=10.0)
+    load_p.add_argument("--warmup", type=float, default=2.0)
+    load_p.add_argument("--seed", type=int, default=0)
+    load_p.add_argument("--crypto", default="hmac",
+                        choices=["schnorr", "hmac", "null"])
+    load_p.add_argument("--latency-model", default="uniform",
+                        choices=["uniform", "lan", "wan4"],
+                        help="network latency model (default uniform "
+                             "10-50 ms)")
+    load_p.add_argument("--clients", type=int, default=100)
+    load_p.add_argument("--mode", default="open", choices=["open", "closed"])
+    load_p.add_argument("--rate", type=float, default=500.0,
+                        help="aggregate offered tx/s (open loop)")
+    load_p.add_argument("--arrival", default="poisson",
+                        choices=list(ARRIVAL_KINDS),
+                        help="open-loop arrival process")
+    load_p.add_argument("--arrival-period", type=float, default=2.0,
+                        help="bursty/diurnal period in seconds")
+    load_p.add_argument("--arrival-duty", type=float, default=0.25,
+                        help="bursty on-fraction of each period")
+    load_p.add_argument("--arrival-amplitude", type=float, default=0.8,
+                        help="diurnal rate swing in [0, 1)")
+    load_p.add_argument("--think", type=float, default=0.0,
+                        help="closed-loop think time in seconds")
+    load_p.add_argument("--outstanding", type=int, default=1,
+                        help="closed-loop in-flight commands per client")
+    load_p.add_argument("--keys", type=int, default=1000,
+                        help="keyspace size per client (or total with "
+                             "--shared-keys)")
+    load_p.add_argument("--zipf", type=float, default=0.99,
+                        help="key popularity skew (0 = uniform)")
+    load_p.add_argument("--value-size", type=int, default=16)
+    load_p.add_argument("--mix", default="45,45,5,5", metavar="S,G,D,C",
+                        help="relative SET,GET,DEL,CAS weights")
+    load_p.add_argument("--shared-keys", action="store_true",
+                        help="one shared keyspace (disables read-your-"
+                             "writes verification)")
+    load_p.add_argument("--max-pending", type=int, default=2048,
+                        help="admission queue bound per replica "
+                             "(0 = unbounded)")
+    load_p.add_argument("--admission-policy", default="reject",
+                        choices=["reject", "shed-oldest"])
+    load_p.add_argument("--per-client-cap", type=int, default=0,
+                        help="max queued commands per client (0 = none)")
+    load_p.add_argument("--sweep", default=None, metavar="R1,R2,..",
+                        help="offered rates to sweep instead of one run")
+    _add_jobs_arg(load_p)
+    load_p.add_argument("--json", metavar="PATH",
+                        help="write results JSON (single run or sweep)")
+    load_p.add_argument("--figure", metavar="PATH",
+                        help="write the ASCII saturation figure "
+                             "(sweep only; also printed)")
 
     sub.add_parser("table1", help="Table I: paper vs measured step counts")
 
@@ -572,6 +645,102 @@ def _cmd_explore(args) -> int:
     return 1 if report.violations else 0
 
 
+def _cmd_loadtest(args) -> int:
+    # Lazy import: the loadtest stack (clients, admission, report) is only
+    # needed by this command.
+    from .analysis.loadreport import (
+        format_load_summary,
+        format_sweep_table,
+        loadtest_results_to_json,
+        render_saturation_figure,
+    )
+    from .harness.loadtest import LoadtestConfig, run_loadtest, run_loadtest_sweep
+    from .workload.admission import AdmissionConfig
+    from .workload.clients import WorkloadSpec
+
+    try:
+        mix = tuple(float(w) for w in args.mix.split(","))
+    except ValueError:
+        print(f"--mix must be 4 comma-separated numbers, got {args.mix!r}",
+              file=sys.stderr)
+        return 2
+    workload = WorkloadSpec(
+        clients=args.clients,
+        mode=args.mode,
+        rate=args.rate,
+        arrival=args.arrival,
+        arrival_period=args.arrival_period,
+        arrival_duty=args.arrival_duty,
+        arrival_amplitude=args.arrival_amplitude,
+        think_s=args.think,
+        outstanding=args.outstanding,
+        keys=args.keys,
+        zipf=args.zipf,
+        value_size=args.value_size,
+        mix=mix,
+        shared_keys=args.shared_keys,
+        seed=args.seed,
+    )
+    cfg = LoadtestConfig(
+        n=args.replicas,
+        protocol_name=args.protocol,
+        batch_size=args.batch,
+        crypto=args.crypto,
+        latency_model=args.latency_model,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        workload=workload,
+        admission=AdmissionConfig(
+            max_pending=args.max_pending,
+            policy=args.admission_policy,
+            per_client_cap=args.per_client_cap,
+        ),
+    )
+
+    if args.sweep is None:
+        result = run_loadtest(cfg)
+        print(format_load_summary(result))
+        if result.verify_failures:
+            print(f"ERROR: {result.verify_failures} read-your-writes "
+                  f"verification failure(s)", file=sys.stderr)
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(loadtest_results_to_json([result]))
+            print(f"wrote {args.json}")
+        return 1 if result.verify_failures else 0
+
+    try:
+        rates = [float(r) for r in args.sweep.split(",") if r.strip() != ""]
+    except ValueError:
+        print(f"--sweep must be comma-separated rates, got {args.sweep!r}",
+              file=sys.stderr)
+        return 2
+    if not rates:
+        print("--sweep needs at least one rate", file=sys.stderr)
+        return 2
+    results = run_loadtest_sweep(
+        [cfg.with_rate(rate) for rate in rates], jobs=args.jobs
+    )
+    print(format_sweep_table(results))
+    print()
+    figure = render_saturation_figure(results)
+    print(figure)
+    if args.figure:
+        with open(args.figure, "w", encoding="utf-8") as fh:
+            fh.write(figure + "\n")
+        print(f"wrote {args.figure}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(loadtest_results_to_json(results))
+        print(f"wrote {args.json}")
+    failures = sum(r.verify_failures for r in results)
+    if failures:
+        print(f"ERROR: {failures} read-your-writes verification failure(s)",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_table1(args) -> int:
     rows = table1_rows()
     print(format_table(rows, [
@@ -671,6 +840,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "fuzz": _cmd_fuzz,
     "explore": _cmd_explore,
+    "loadtest": _cmd_loadtest,
     "table1": _cmd_table1,
     "fig": _cmd_fig,
     "steps": _cmd_steps,

@@ -241,6 +241,11 @@ class ExperimentConfig:
     duration: float = 20.0
     warmup: float = 2.0
     tx_rate_per_replica: float = 0.0  # 0 = saturating (always-full batches)
+    #: Mempool backlog cap in transactions (open-loop mode); 0 = unbounded.
+    #: With a cap, arrivals past it are shed and counted (``mempool.dropped``
+    #: metric, ``mempool_dropped`` extra) instead of queued forever — the
+    #: admission-control behaviour of :mod:`repro.workload.admission`.
+    mempool_cap: int = 0
     bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
     latency_model: str = "wan4"
     #: Per-message CPU cost at the receiver (µs); 0 disables the CPU model.
@@ -273,6 +278,8 @@ class ExperimentConfig:
             raise ConfigError("bandwidth must be positive")
         if self.cpu_fixed_us < 0 or self.cpu_per_byte_ns < 0:
             raise ConfigError("CPU costs cannot be negative")
+        if self.mempool_cap < 0:
+            raise ConfigError("mempool_cap cannot be negative")
 
     def with_updates(self, **kwargs: Any) -> "ExperimentConfig":
         """Return a copy with the given fields replaced (validated again)."""

@@ -34,6 +34,7 @@ __all__ = [
     "peak_throughput",
     "headline_comparison",
     "run_experiment",
+    "saturation_sweep",
 ]
 
 #: The protocols every comparison figure plots.
@@ -205,6 +206,50 @@ def unfavorable_curve(
         seed=seed,
         jobs=jobs,
     )
+
+
+def saturation_sweep(
+    rates: Sequence[float],
+    clients: int = 100,
+    n: int = 4,
+    protocol: str = "lightdag2",
+    batch_size: int = 64,
+    duration: float = 12.0,
+    warmup: float = 2.0,
+    max_pending: int = 2048,
+    admission_policy: str = "reject",
+    arrival: str = "poisson",
+    seed: int = 0,
+    jobs: Optional[int] = 1,
+):
+    """Offered rate vs end-to-end latency: the client-side knee.
+
+    Unlike :func:`tradeoff_curve` (consensus-side, analytic mempool), this
+    ramps an *open-loop client population* against the replicated KV — the
+    x-axis is the offered rate, and each point reports consensus latency
+    and client-observed p50/p99/p999 side by side.  Past the knee the
+    bounded admission queue sheds/rejects (visible in the results) instead
+    of growing without bound.  One :class:`~repro.harness.loadtest
+    .LoadtestResult` per rate, fanned over the ``jobs`` pool.
+    """
+    from ..workload.admission import AdmissionConfig
+    from ..workload.clients import WorkloadSpec
+    from .loadtest import LoadtestConfig, run_loadtest_sweep
+
+    base = LoadtestConfig(
+        n=n,
+        protocol_name=protocol,
+        batch_size=batch_size,
+        duration=duration,
+        warmup=min(warmup, duration * 0.25),
+        seed=seed,
+        workload=WorkloadSpec(
+            clients=clients, mode="open", rate=1.0, arrival=arrival, seed=seed
+        ),
+        admission=AdmissionConfig(max_pending=max_pending, policy=admission_policy),
+    )
+    configs = [base.with_rate(rate) for rate in rates]
+    return run_loadtest_sweep(configs, jobs=jobs)
 
 
 def peak_throughput(results: List[ExperimentResult]) -> Dict[str, ExperimentResult]:

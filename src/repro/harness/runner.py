@@ -237,12 +237,18 @@ def run_experiment(
         watchdog.install(obs.journal)
 
     mempools = [
-        Mempool.from_config(cfg.protocol, rate=cfg.tx_rate_per_replica)
+        Mempool.from_config(
+            cfg.protocol, rate=cfg.tx_rate_per_replica,
+            max_backlog=cfg.mempool_cap,
+        )
         for _ in range(system.n)
     ]
     if obs.trace.enabled:
         for i, mempool in enumerate(mempools):
             mempool.bind_trace(obs.trace, i)
+    if cfg.mempool_cap and obs.metrics.enabled:
+        for i, mempool in enumerate(mempools):
+            mempool.bind_obs(obs, i)
 
     def factory_for(i: int):
         def make(net):
@@ -300,6 +306,8 @@ def run_experiment(
         if hasattr(node, "reproposals"):
             extras["reproposals"] = extras.get("reproposals", 0) + node.reproposals
     extras["retrieval_requests"] = sum(n.retrieval.requests_sent for n in honest)
+    if cfg.mempool_cap:
+        extras["mempool_dropped"] = sum(m.dropped_total for m in mempools)
 
     latency_report = None
     if obs.trace.enabled:

@@ -539,6 +539,24 @@ class Simulation:
             self._queue, (self.now + delay, seq, _TIMER, node_id, tag, data)
         )
 
+    def call_at(self, at: float, fn: Callable[["Simulation"], None]) -> None:
+        """Schedule ``fn(self)`` at absolute simulated time ``at``.
+
+        The hook external drivers (client populations, workload injectors)
+        use to act at exact simulated instants without owning a replica:
+        the callback runs inside the event loop, interleaved deterministically
+        with deliveries and timers, and may submit work, read state, or
+        schedule further callbacks.  Callbacks survive crashes (they belong
+        to the harness, not to any node).
+        """
+        if at < self.now:
+            raise SimulationError(
+                f"callback scheduled in the past ({at} < now={self.now})"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (at, seq, _TIMER, -1, "__call__", fn))
+
     # -- fault injection -----------------------------------------------------
 
     def crash(self, node_id: int, at: float | None = None) -> None:
@@ -670,6 +688,9 @@ class Simulation:
                 tag = head[4]
                 if tag == "__crash__":
                     crashed.add(node_id)
+                elif node_id < 0:
+                    # Harness callback (call_at): no owning replica.
+                    head[5](self)
                 elif node_id not in crashed:
                     on_timer[node_id](tag, head[5])
             processed += 1
@@ -740,6 +761,9 @@ class Simulation:
             node_id, tag, data = a, b, c
             if tag == "__crash__":
                 self._crashed.add(node_id)
+                return
+            if node_id < 0:
+                data(self)
                 return
             if node_id in self._crashed:
                 return

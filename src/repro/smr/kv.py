@@ -3,9 +3,15 @@
 Command grammar (UTF-8, space-separated, values may contain spaces):
 
 * ``SET <key> <value>``   → ``OK``
-* ``GET <key>``           → the value, or ``NIL``
+* ``GET <key>``           → ``VAL <value>``, or ``NIL`` when absent
 * ``DEL <key>``           → ``OK`` if present, ``NIL`` otherwise
 * ``CAS <key> <expected> <new>`` → ``OK`` on swap, ``FAIL`` otherwise
+
+GET responses are *tagged*: a present value comes back as ``VAL <value>``
+so that a stored literal ``"NIL"`` is distinguishable from a missing key
+(``VAL NIL`` vs ``NIL``).  Closed-loop clients that read their own writes
+depend on this — an untagged response made ``SET k NIL; GET k`` look like
+a lost write.
 
 Unknown verbs and malformed commands return ``ERR <reason>`` rather than
 raising: a malformed committed command must not halt replication (it was
@@ -47,7 +53,9 @@ class KvStateMachine(StateMachine):
             if len(parts) != 2:
                 return b"ERR GET needs exactly one key"
             value = self.data.get(parts[1])
-            return b"NIL" if value is None else value.encode("utf-8")
+            if value is None:
+                return b"NIL"
+            return b"VAL " + value.encode("utf-8")
 
         if verb == "DEL":
             if len(parts) != 2:

@@ -1,11 +1,24 @@
 """The replication glue: protocol node + state machine + clients.
 
 :class:`SmrReplica` owns one consensus node and one state machine.  Client
-commands enter through :meth:`submit`; the replica batches them into block
-payloads (the node's ``payload_source`` hook), and the node's ``on_commit``
-hook feeds committed blocks back in ledger order, where commands are
-applied **exactly once** (dedup by command id — consensus may commit the
-same payload twice through a LightDAG2 reproposal, and clients may retry).
+commands enter through :meth:`submit` / :meth:`submit_command`; the replica
+batches them into block payloads (the node's ``payload_source`` hook), and
+the node's ``on_commit`` hook feeds committed blocks back in ledger order,
+where commands are applied **exactly once** (dedup by command id —
+consensus may commit the same payload twice through a LightDAG2
+reproposal, and clients may retry).
+
+The client-facing surface is completion-based: a submission may register a
+*waiter* that fires exactly once with the committed result and commit
+time.  Retries (same ``command_id``) are idempotent at every stage: a
+command already queued is not queued twice, and a command already applied
+resolves the new waiter immediately from the result cache.
+
+Backpressure lives here too: an optional
+:class:`~repro.workload.admission.AdmissionController` bounds the pending
+queue (reject or shed-oldest under overload, per-client fairness caps),
+so a replica facing more offered load than the cluster commits degrades
+by refusing work instead of by growing without bound.
 
 :class:`SmrCluster` assembles a full replicated service over any runtime
 (simulator or asyncio) and exposes the cross-replica invariant checks the
@@ -15,7 +28,8 @@ tests rely on: identical applied sequences and identical state digests.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Type
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Type
 
 from ..codec.primitives import CodecError
 from ..config import ProtocolConfig, SystemConfig
@@ -26,19 +40,48 @@ from ..dag.ledger import CommitRecord, check_prefix_consistency
 from ..errors import ProtocolError
 from .machine import Command, StateMachine
 
+#: Completion callback: ``waiter(command, result, commit_time)``.  ``result``
+#: is None when the command was shed by admission control before ordering.
+Waiter = Callable[[Command, Optional[bytes], Optional[float]], None]
+
 
 class SmrReplica:
-    """One application replica."""
+    """One application replica.
 
-    def __init__(self, replica_id: int, machine: StateMachine) -> None:
+    Parameters
+    ----------
+    replica_id:
+        This replica's index in the cluster.
+    machine:
+        The deterministic state machine commands apply to.
+    max_batch:
+        Commands drained per block proposal; 0 = drain everything pending
+        (the historical behaviour).  A bounded drain is what gives the
+        cluster a measurable capacity — and overload a visible queue.
+    admission:
+        Optional :class:`~repro.workload.admission.AdmissionController`;
+        absent means every submission is admitted (unbounded queue).
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        machine: StateMachine,
+        max_batch: int = 0,
+        admission=None,
+    ) -> None:
         self.replica_id = replica_id
         self.machine = machine
-        self._pending: List[Command] = []
+        self.max_batch = max_batch
+        self.admission = admission
+        self._pending: Deque[Command] = deque()
+        self._pending_ids: Set[Digest] = set()
         self._applied_ids: set = set()
         self.applied_order: List[Digest] = []
         self.results: Dict[Digest, bytes] = {}
         self._nonce = itertools.count()
         self._result_listeners: List[Callable[[Command, bytes], None]] = []
+        self._waiters: Dict[Digest, List[Waiter]] = {}
         self._trace = None
 
     def bind_trace(self, trace) -> None:
@@ -51,12 +94,62 @@ class SmrReplica:
     def submit(self, payload: bytes, client: str = "local") -> Digest:
         """Queue a command for ordering; returns its id for result lookup."""
         command = Command.create(client=client, payload=payload, nonce=next(self._nonce))
-        self._pending.append(command)
+        self.submit_command(command)
         return command.command_id
 
-    def submit_command(self, command: Command) -> None:
-        """Queue a pre-built command (client retries re-submit the same id)."""
+    def submit_command(
+        self,
+        command: Command,
+        now: Optional[float] = None,
+        waiter: Optional[Waiter] = None,
+    ) -> bool:
+        """Queue a pre-built command; returns True if it was admitted.
+
+        Idempotent under retries (clients re-submit the same
+        ``command_id``): a command already applied resolves ``waiter``
+        immediately from the result cache; one already pending only
+        registers the extra waiter.  Either way every registered waiter
+        fires exactly once.
+
+        With admission control the submission may be refused (returns
+        False, ``waiter`` is dropped unfired) or may shed the oldest
+        queued command (whose waiters fire with ``result=None``).
+        """
+        cid = command.command_id
+        if cid in self._applied_ids:
+            if waiter is not None:
+                waiter(command, self.results.get(cid), now)
+            return True
+        if cid in self._pending_ids:
+            if waiter is not None:
+                self._waiters.setdefault(cid, []).append(waiter)
+            return True
+        if self.admission is not None:
+            from ..workload.admission import ADMIT, SHED
+
+            verdict = self.admission.decide(command.client)
+            if verdict == SHED:
+                self._shed_oldest(now)
+            elif verdict != ADMIT:
+                return False
         self._pending.append(command)
+        self._pending_ids.add(cid)
+        if self.admission is not None:
+            self.admission.note_admitted(command.client)
+        if waiter is not None:
+            self._waiters.setdefault(cid, []).append(waiter)
+        return True
+
+    def _shed_oldest(self, now: Optional[float]) -> None:
+        victim = self._pending.popleft()
+        self._pending_ids.discard(victim.command_id)
+        self.admission.note_shed(victim.client)
+        for waiter in self._waiters.pop(victim.command_id, ()):
+            waiter(victim, None, now)
+
+    def pending_count(self) -> int:
+        """Commands queued awaiting proposal (the admission queue depth)."""
+        return len(self._pending)
 
     def result_of(self, command_id: Digest) -> Optional[bytes]:
         return self.results.get(command_id)
@@ -70,7 +163,14 @@ class SmrReplica:
         """Drain pending commands into the next block's payload."""
         if not self._pending:
             return TxBatch(count=0, tx_size=0)
-        commands, self._pending = self._pending, []
+        take = len(self._pending)
+        if self.max_batch:
+            take = min(take, self.max_batch)
+        commands = [self._pending.popleft() for _ in range(take)]
+        for command in commands:
+            self._pending_ids.discard(command.command_id)
+            if self.admission is not None:
+                self.admission.note_drained(command.client)
         items = tuple(c.to_bytes() for c in commands)
         return TxBatch(
             count=len(items),
@@ -88,14 +188,17 @@ class SmrReplica:
                 command = Command.from_bytes(raw)
             except CodecError:
                 continue  # non-command payload (foreign app); skip deterministically
-            if command.command_id in self._applied_ids:
+            cid = command.command_id
+            if cid in self._applied_ids:
                 continue
-            self._applied_ids.add(command.command_id)
+            self._applied_ids.add(cid)
             result = self.machine.apply(command)
-            self.applied_order.append(command.command_id)
-            self.results[command.command_id] = result
+            self.applied_order.append(cid)
+            self.results[cid] = result
             for listener in self._result_listeners:
                 listener(command, result)
+            for waiter in self._waiters.pop(cid, ()):
+                waiter(command, result, record.commit_time)
         if self._trace is not None:
             self._trace.emit(
                 record.commit_time, "trace.execute", self.replica_id,
@@ -128,22 +231,58 @@ class SmrCluster:
         latency_model=None,
         seed: int = 0,
         obs=None,
+        admission=None,
+        collector=None,
+        max_batch: Optional[int] = None,
     ) -> "SmrCluster":
+        """Wire replicas, state machines, and consensus nodes together.
+
+        ``admission`` is an :class:`~repro.workload.admission.AdmissionConfig`
+        applied to every replica's pending queue.  ``collector`` is an
+        optional :class:`~repro.workload.metrics.MetricsCollector` teed
+        into every commit hook — it sees the same records the application
+        does, giving the consensus-side TPS/latency a load test reports
+        next to the client-observed numbers.  ``max_batch`` caps commands
+        per proposal (default: the protocol's batch size).
+        """
         from ..harness.runner import PROTOCOL_REGISTRY
         from ..net.latency import UniformLatency
         from ..net.simulator import Simulation
         from ..obs import NULL_OBS
+        from ..workload.admission import make_admission
 
         obs = obs if obs is not None else NULL_OBS
         protocol = protocol or ProtocolConfig(batch_size=64)
+        if max_batch is None:
+            max_batch = protocol.batch_size
         node_cls: Type = PROTOCOL_REGISTRY[protocol_name]
         chains = TrustedDealer(
             system, coin_threshold=protocol.resolve_coin_threshold(system)
         ).deal()
-        replicas = [SmrReplica(i, machine_factory()) for i in range(system.n)]
+        replicas = [
+            SmrReplica(
+                i,
+                machine_factory(),
+                max_batch=max_batch,
+                admission=make_admission(admission, obs=obs, replica_id=i),
+            )
+            for i in range(system.n)
+        ]
         if obs.trace.enabled:
             for replica in replicas:
                 replica.bind_trace(obs.trace)
+
+        def commit_hook(i: int):
+            if collector is None:
+                return replicas[i].on_commit
+            consensus_cb = collector.callback_for(i)
+            replica_cb = replicas[i].on_commit
+
+            def tee(record):
+                consensus_cb(record)
+                replica_cb(record)
+
+            return tee
 
         def factory(i: int):
             return lambda net: node_cls(
@@ -152,7 +291,7 @@ class SmrCluster:
                 protocol=protocol,
                 keychain=chains[i],
                 payload_source=replicas[i].payload_source,
-                on_commit=replicas[i].on_commit,
+                on_commit=commit_hook(i),
                 obs=obs,
             )
 

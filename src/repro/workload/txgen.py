@@ -15,8 +15,22 @@ would drown the event queue, so the mempool models arrivals *analytically*:
   delay — the thing that blows up past saturation (Fig. 14's hockey
   stick) — is captured exactly, in O(1) per proposal.
 
+Accounting is exact: chunk counts are integers (the float is only the
+*position* of arrivals in time, never how many there are), and the
+conservation law ``accrued_total == taken_total + backlog + dropped_total``
+holds to the last transaction over arbitrarily long runs — property-tested
+in ``tests/workload/test_txgen.py``.
+
+Past saturation an unbounded open-loop queue is a memory leak wearing a
+latency costume.  ``max_backlog`` bounds it: arrivals that would overflow
+are shed at the door (newest-dropped, FIFO preserved) and counted in
+``dropped_total`` — the admission-control behaviour of a real mempool,
+mirrored from :mod:`repro.workload.admission`.
+
 Both modes produce :class:`~repro.dag.block.TxBatch` payloads carrying the
 exact submit-time sum (for mean latency) and a small sample (percentiles).
+For end-to-end client populations (per-command tracking, closed loops) see
+:mod:`repro.workload.clients`.
 """
 
 from __future__ import annotations
@@ -40,22 +54,40 @@ class Mempool:
         Bytes per transaction (128 in §VI-A).
     rate:
         Offered load in tx/s for this replica; 0 means saturating.
+    max_backlog:
+        Queue-depth cap in transactions; 0 means unbounded.  With a cap,
+        arrivals past the cap are dropped (``dropped_total``) instead of
+        queued — backlog memory and queueing delay both stay bounded no
+        matter how far past saturation the offered rate runs.
     """
 
-    def __init__(self, batch_size: int, tx_size: int, rate: float = 0.0) -> None:
+    def __init__(
+        self,
+        batch_size: int,
+        tx_size: int,
+        rate: float = 0.0,
+        max_backlog: int = 0,
+    ) -> None:
         if batch_size < 1:
             raise ConfigError("batch_size must be positive")
         if rate < 0:
             raise ConfigError("rate cannot be negative")
+        if max_backlog < 0:
+            raise ConfigError("max_backlog cannot be negative")
         self.batch_size = batch_size
         self.tx_size = tx_size
         self.rate = rate
-        self._chunks: Deque[Tuple[float, float, float]] = deque()
+        self.max_backlog = max_backlog
+        self._chunks: Deque[Tuple[float, float, int]] = deque()
         self._accrued_until = 0.0
         self._carry = 0.0
+        self._backlog = 0
+        self.accrued_total = 0
         self.taken_total = 0
+        self.dropped_total = 0
         self._trace = None
         self._trace_node = -1
+        self._ctr_dropped = None
 
     def bind_trace(self, trace, node_id: int) -> None:
         """Attach a tracer so drains emit ``trace.batch`` spans — the
@@ -65,9 +97,23 @@ class Mempool:
         self._trace = trace
         self._trace_node = node_id
 
+    def bind_obs(self, obs, node_id: int) -> None:
+        """Attach a metrics registry so shed arrivals are counted as
+        ``mempool.dropped{node=...}`` (the admission-control signal the
+        saturation figures plot)."""
+        if obs is not None and obs.metrics.enabled:
+            self._ctr_dropped = obs.metrics.counter("mempool.dropped", node=node_id)
+
     @classmethod
-    def from_config(cls, protocol: ProtocolConfig, rate: float = 0.0) -> "Mempool":
-        return cls(batch_size=protocol.batch_size, tx_size=protocol.tx_size, rate=rate)
+    def from_config(
+        cls, protocol: ProtocolConfig, rate: float = 0.0, max_backlog: int = 0
+    ) -> "Mempool":
+        return cls(
+            batch_size=protocol.batch_size,
+            tx_size=protocol.tx_size,
+            rate=rate,
+            max_backlog=max_backlog,
+        )
 
     # -- arrival accrual ---------------------------------------------------------
 
@@ -79,13 +125,28 @@ class Mempool:
         count = int(arrivals)
         self._carry = arrivals - count
         if count > 0:
-            self._chunks.append((self._accrued_until, now, float(count)))
+            self.accrued_total += count
+            admitted = count
+            if self.max_backlog:
+                room = self.max_backlog - self._backlog
+                admitted = min(count, max(0, room))
+            dropped = count - admitted
+            if dropped:
+                # The *newest* arrivals are shed: the admitted prefix of
+                # the window keeps FIFO order and honest submit times.
+                self.dropped_total += dropped
+                if self._ctr_dropped is not None:
+                    self._ctr_dropped.inc(dropped)
+            if admitted > 0:
+                split = self._accrued_until + span * (admitted / count)
+                self._chunks.append((self._accrued_until, split, admitted))
+                self._backlog += admitted
         self._accrued_until = now
 
     def backlog(self, now: float) -> int:
         """Transactions currently queued (open-loop mode)."""
         self._accrue(now)
-        return int(sum(c for _, _, c in self._chunks))
+        return self._backlog
 
     # -- draining ------------------------------------------------------------------
 
@@ -105,8 +166,8 @@ class Mempool:
                 sample=(now,),
             )
         self._accrue(now)
-        want = float(self.batch_size)
-        taken = 0.0
+        want = self.batch_size
+        taken = 0
         submit_sum = 0.0
         samples: List[float] = []
         while want > 0 and self._chunks:
@@ -127,19 +188,19 @@ class Mempool:
                 samples.append((t0 + split) / 2)
                 self._chunks[0] = (split, t1, count - want)
                 taken += want
-                want = 0.0
-        n_taken = int(taken)
-        self.taken_total += n_taken
-        if n_taken == 0:
+                want = 0
+        self.taken_total += taken
+        self._backlog -= taken
+        if taken == 0:
             return TxBatch(count=0, tx_size=self.tx_size)
         if self._trace is not None:
             self._trace.emit(
                 now, "trace.batch", self._trace_node,
-                count=n_taken, mean_submit=submit_sum / n_taken,
+                count=taken, mean_submit=submit_sum / taken,
                 oldest=samples[0] if samples else now,
             )
         return TxBatch(
-            count=n_taken,
+            count=taken,
             tx_size=self.tx_size,
             submit_time_sum=submit_sum,
             sample=tuple(samples[:16]),

@@ -93,11 +93,16 @@ class TestRunSweep:
         protocol=st.sampled_from(["lightdag1", "lightdag2"]),
     )
     def test_equivalence_property(self, seeds, protocol):
-        """jobs=4 is bit-identical to jobs=1 for arbitrary seed sets."""
+        """jobs=4 is bit-identical to jobs=1 for arbitrary seed sets.
+
+        Compared by repr: a seed whose tiny run commits nothing in-window
+        has NaN latency, and NaN != NaN would fail dataclass equality even
+        for genuinely identical results.
+        """
         configs = [quick_config(seed=s, protocol=protocol) for s in seeds]
         serial = run_sweep(configs, jobs=1)
         parallel = run_sweep(configs, jobs=4)
-        assert serial.results == parallel.results
+        assert repr(serial.results) == repr(parallel.results)
 
     @pytest.mark.parametrize("jobs", [1, 3])
     def test_poisoned_config_does_not_lose_neighbours(self, jobs):

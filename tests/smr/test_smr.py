@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import ProtocolConfig, SystemConfig
+from repro.config import SystemConfig
 from repro.smr.kv import KvStateMachine
 from repro.smr.machine import Command
 from repro.smr.replica import SmrCluster, SmrReplica
@@ -38,14 +38,22 @@ class TestKvMachine:
 
     def test_set_get(self):
         assert self.apply(b"SET name carol") == b"OK"
-        assert self.apply(b"GET name") == b"carol"
+        assert self.apply(b"GET name") == b"VAL carol"
 
     def test_get_missing(self):
         assert self.apply(b"GET ghost") == b"NIL"
 
+    def test_get_stored_nil_distinguishable_from_missing(self):
+        """Regression: a stored value "NIL" must not read back identically
+        to a missing key — responses are tagged (VAL <v> / bare NIL)."""
+        self.apply(b"SET k NIL")
+        assert self.apply(b"GET k") == b"VAL NIL"
+        assert self.apply(b"GET nope") == b"NIL"
+        assert self.apply(b"GET k") != self.apply(b"GET nope")
+
     def test_set_value_with_spaces(self):
         self.apply(b"SET msg hello world !")
-        assert self.apply(b"GET msg") == b"hello world !"
+        assert self.apply(b"GET msg") == b"VAL hello world !"
 
     def test_del(self):
         self.apply(b"SET k v")
@@ -56,7 +64,7 @@ class TestKvMachine:
         self.apply(b"SET n 1")
         assert self.apply(b"CAS n 1 2") == b"OK"
         assert self.apply(b"CAS n 1 3") == b"FAIL"
-        assert self.apply(b"GET n") == b"2"
+        assert self.apply(b"GET n") == b"VAL 2"
 
     def test_malformed_commands_dont_raise(self):
         assert self.apply(b"SET onlykey").startswith(b"ERR")
@@ -109,6 +117,132 @@ class TestSmrReplicaUnit:
         batch = TxBatch(count=1, tx_size=8, items=(command.to_bytes(),))
         replica.on_commit(CommitRecord(0, make_block(1, 0, [], payload=batch), 1.0, b"L", 0))
         assert seen == [(b"SET y 9", b"OK")]
+
+
+def _commit(replica, commands, position=0, when=1.0):
+    """Commit a block carrying ``commands`` straight into the replica."""
+    from repro.dag.block import TxBatch, make_block
+    from repro.dag.ledger import CommitRecord
+
+    batch = TxBatch(
+        count=len(commands), tx_size=8,
+        items=tuple(c.to_bytes() for c in commands),
+    )
+    block = make_block(position + 1, 0, [], payload=batch,
+                       repropose_index=position)
+    replica.on_commit(CommitRecord(position, block, when, b"L", 0))
+
+
+class TestWaiters:
+    """Duplicate submissions resolve every waiter exactly once."""
+
+    def test_duplicate_submit_same_id_fires_each_waiter_once(self):
+        replica = SmrReplica(0, KvStateMachine())
+        command = cmd(b"SET x 1")
+        fired = []
+        replica.submit_command(command, now=0.0,
+                              waiter=lambda c, r, t: fired.append(("a", r, t)))
+        # Retry of the same command while still pending: queued once, both
+        # waiters registered.
+        assert replica.submit_command(
+            command, now=0.1, waiter=lambda c, r, t: fired.append(("b", r, t))
+        )
+        assert replica.pending_count() == 1
+        drained = replica.payload_source(now=0.2)
+        assert drained.count == 1
+        _commit(replica, [command], when=1.5)
+        assert fired == [("a", b"OK", 1.5), ("b", b"OK", 1.5)]
+        assert replica.machine.applied_count == 1
+
+    def test_waiters_fire_once_even_if_committed_twice(self):
+        replica = SmrReplica(0, KvStateMachine())
+        command = cmd(b"SET x 1")
+        fired = []
+        replica.submit_command(command, waiter=lambda c, r, t: fired.append(r))
+        replica.payload_source(now=0.0)
+        _commit(replica, [command], position=0, when=1.0)
+        _commit(replica, [command], position=1, when=2.0)
+        assert fired == [b"OK"]
+        assert replica.machine.applied_count == 1
+
+    def test_resubmit_after_apply_resolves_immediately_from_cache(self):
+        replica = SmrReplica(0, KvStateMachine())
+        command = cmd(b"SET x 1")
+        replica.submit_command(command)
+        replica.payload_source(now=0.0)
+        _commit(replica, [command], when=1.0)
+        fired = []
+        assert replica.submit_command(
+            command, now=5.0, waiter=lambda c, r, t: fired.append((r, t))
+        )
+        assert fired == [(b"OK", 5.0)]
+        assert replica.pending_count() == 0
+        assert replica.machine.applied_count == 1
+
+    def test_waiterless_duplicates_still_apply_once(self):
+        replica = SmrReplica(0, KvStateMachine())
+        command = cmd(b"SET y 2")
+        for _ in range(3):
+            assert replica.submit_command(command)
+        assert replica.pending_count() == 1
+        replica.payload_source(now=0.0)
+        _commit(replica, [command])
+        assert replica.machine.applied_count == 1
+
+
+class TestAdmissionInReplica:
+    def _replica(self, max_pending=2, policy="reject", per_client_cap=0):
+        from repro.workload.admission import AdmissionConfig, make_admission
+
+        config = AdmissionConfig(
+            max_pending=max_pending, policy=policy,
+            per_client_cap=per_client_cap,
+        )
+        return SmrReplica(0, KvStateMachine(),
+                          admission=make_admission(config))
+
+    def test_reject_policy_refuses_past_cap(self):
+        replica = self._replica(max_pending=2)
+        assert replica.submit_command(cmd(b"SET a 1", nonce=1))
+        assert replica.submit_command(cmd(b"SET b 2", nonce=2))
+        assert not replica.submit_command(cmd(b"SET c 3", nonce=3))
+        assert replica.pending_count() == 2
+        assert replica.admission.rejected_total == 1
+
+    def test_shed_oldest_evicts_and_fires_waiter_with_none(self):
+        replica = self._replica(max_pending=2, policy="shed-oldest")
+        oldest = cmd(b"SET a 1", nonce=1)
+        shed_results = []
+        replica.submit_command(oldest, now=0.0,
+                               waiter=lambda c, r, t: shed_results.append((c, r)))
+        replica.submit_command(cmd(b"SET b 2", nonce=2))
+        assert replica.submit_command(cmd(b"SET c 3", nonce=3), now=0.5)
+        assert replica.pending_count() == 2
+        assert shed_results == [(oldest, None)]
+        assert replica.admission.shed == 1
+        # The shed command is submittable again (fresh admission).
+        assert replica.submit_command(oldest, now=1.0)
+        assert replica.pending_count() == 2  # displaced SET b
+
+    def test_per_client_cap_preserves_room_for_others(self):
+        replica = self._replica(max_pending=10, per_client_cap=2)
+        assert replica.submit_command(cmd(b"SET a 1", nonce=1, client="greedy"))
+        assert replica.submit_command(cmd(b"SET a 2", nonce=2, client="greedy"))
+        assert not replica.submit_command(cmd(b"SET a 3", nonce=3, client="greedy"))
+        assert replica.submit_command(cmd(b"SET b 1", nonce=4, client="polite"))
+        # Draining frees the greedy client's slots.
+        replica.payload_source(now=0.0)
+        assert replica.submit_command(cmd(b"SET a 4", nonce=5, client="greedy"))
+
+    def test_depth_tracks_queue_and_high_water(self):
+        replica = self._replica(max_pending=8)
+        for i in range(5):
+            replica.submit_command(cmd(b"SET k v", nonce=i))
+        assert replica.admission.depth == 5
+        assert replica.admission.max_depth == 5
+        replica.payload_source(now=0.0)
+        assert replica.admission.depth == 0
+        assert replica.admission.max_depth == 5
 
 
 class TestSmrCluster:

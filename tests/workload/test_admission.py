@@ -1,0 +1,110 @@
+"""Tests for repro.workload.admission: bounded queues and backpressure."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs import EventJournal, MetricsRegistry, Observability
+from repro.workload.admission import (
+    ADMIT,
+    REJECT_CLIENT,
+    REJECT_FULL,
+    SHED,
+    AdmissionConfig,
+    AdmissionController,
+    make_admission,
+)
+
+
+class TestConfig:
+    def test_defaults_are_unbounded(self):
+        cfg = AdmissionConfig()
+        assert cfg.max_pending == 0 and cfg.per_client_cap == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdmissionConfig(max_pending=-1)
+        with pytest.raises(ConfigError):
+            AdmissionConfig(per_client_cap=-1)
+        with pytest.raises(ConfigError):
+            AdmissionConfig(policy="drop-newest")
+
+    def test_make_admission_returns_none_when_unbounded(self):
+        assert make_admission(None) is None
+        assert make_admission(AdmissionConfig()) is None
+        assert make_admission(AdmissionConfig(max_pending=1)) is not None
+        assert make_admission(AdmissionConfig(per_client_cap=1)) is not None
+
+
+class TestDecisions:
+    def test_admit_below_cap(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=2))
+        assert ctl.decide("a") == ADMIT
+        ctl.note_admitted("a")
+        assert ctl.decide("a") == ADMIT
+
+    def test_reject_at_cap(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=1))
+        ctl.note_admitted("a")
+        assert ctl.decide("b") == REJECT_FULL
+        assert ctl.rejected_total == 1
+
+    def test_shed_policy_at_cap(self):
+        ctl = AdmissionController(
+            AdmissionConfig(max_pending=1, policy="shed-oldest")
+        )
+        ctl.note_admitted("a")
+        assert ctl.decide("b") == SHED
+        # the caller evicts and reports:
+        ctl.note_shed("a")
+        ctl.note_admitted("b")
+        assert ctl.depth == 1
+        assert ctl.shed == 1
+
+    def test_per_client_cap_checked_before_queue_bound(self):
+        ctl = AdmissionController(
+            AdmissionConfig(max_pending=10, per_client_cap=1)
+        )
+        ctl.note_admitted("greedy")
+        assert ctl.decide("greedy") == REJECT_CLIENT
+        assert ctl.decide("other") == ADMIT
+
+    def test_drain_releases_client_slots(self):
+        ctl = AdmissionController(AdmissionConfig(per_client_cap=1))
+        ctl.note_admitted("a")
+        assert ctl.decide("a") == REJECT_CLIENT
+        ctl.note_drained("a")
+        assert ctl.decide("a") == ADMIT
+
+
+class TestAccounting:
+    def test_max_depth_is_high_water_mark(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=100))
+        for _ in range(7):
+            ctl.note_admitted("a")
+        for _ in range(7):
+            ctl.note_drained("a")
+        ctl.note_admitted("a")
+        assert ctl.depth == 1
+        assert ctl.max_depth == 7
+
+    def test_summary_totals(self):
+        ctl = AdmissionController(AdmissionConfig(max_pending=1))
+        ctl.note_admitted("a")
+        ctl.decide("b")
+        summary = ctl.summary()
+        assert summary == {
+            "admitted": 1, "rejected": 1, "shed": 0,
+            "depth": 1, "max_depth": 1,
+        }
+
+    def test_obs_counters_and_gauge(self):
+        obs = Observability(MetricsRegistry(), EventJournal())
+        ctl = AdmissionController(
+            AdmissionConfig(max_pending=1), obs=obs, replica_id=2
+        )
+        ctl.note_admitted("a")
+        ctl.decide("b")  # reject-full
+        assert obs.metrics.counter_total("smr.admitted") == 1
+        assert obs.metrics.counter_total("smr.rejected") == 1
+        gauge = obs.metrics.gauge("smr.pending_depth", replica=2)
+        assert gauge.value == 1

@@ -1,0 +1,224 @@
+"""Tests for repro.workload.clients: arrivals, mixes, populations."""
+
+import math
+import random
+
+import pytest
+
+from repro.config import ProtocolConfig, SystemConfig
+from repro.errors import ConfigError
+from repro.smr.kv import KvStateMachine
+from repro.smr.replica import SmrCluster
+from repro.workload.admission import AdmissionConfig
+from repro.workload.clients import (
+    BurstyArrivals,
+    ClientPopulation,
+    DiurnalArrivals,
+    OpMix,
+    PoissonArrivals,
+    WorkloadSpec,
+    ZipfKeys,
+    make_arrivals,
+)
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self):
+        rng = random.Random(7)
+        arrivals = PoissonArrivals(100.0)
+        gaps = [arrivals.next_gap(rng, 0.0) for _ in range(5000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(1 / 100.0, rel=0.1)
+
+    def test_bursty_mean_rate_matches_nominal(self):
+        """Thinning preserves the mean: N arrivals over T ≈ rate*T."""
+        rng = random.Random(1)
+        arrivals = BurstyArrivals(200.0, period=1.0, duty=0.25)
+        t, count = 0.0, 0
+        while t < 50.0:
+            t += arrivals.next_gap(rng, t)
+            count += 1
+        assert count == pytest.approx(200.0 * 50.0, rel=0.1)
+
+    def test_bursty_concentrates_in_on_phase(self):
+        rng = random.Random(2)
+        arrivals = BurstyArrivals(100.0, period=1.0, duty=0.25)
+        t, in_burst = 0.0, 0
+        points = []
+        while t < 50.0:
+            t += arrivals.next_gap(rng, t)
+            points.append(t)
+        for p in points:
+            if math.fmod(p, 1.0) < 0.25:
+                in_burst += 1
+        assert in_burst / len(points) > 0.95
+
+    def test_diurnal_rate_oscillates_around_mean(self):
+        arrivals = DiurnalArrivals(100.0, period=20.0, amplitude=0.5)
+        assert arrivals.rate_at(5.0) == pytest.approx(150.0)   # peak
+        assert arrivals.rate_at(15.0) == pytest.approx(50.0)   # trough
+        assert arrivals.rate_at(0.0) == pytest.approx(100.0)
+
+    def test_make_arrivals_names(self):
+        assert isinstance(make_arrivals("poisson", 10.0), PoissonArrivals)
+        assert isinstance(make_arrivals("bursty", 10.0), BurstyArrivals)
+        assert isinstance(make_arrivals("diurnal", 10.0), DiurnalArrivals)
+        with pytest.raises(ConfigError):
+            make_arrivals("constant", 10.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ConfigError):
+            BurstyArrivals(10.0, duty=0.0)
+        with pytest.raises(ConfigError):
+            DiurnalArrivals(10.0, amplitude=1.0)
+
+
+class TestZipfKeys:
+    def test_skew_concentrates_on_head(self):
+        rng = random.Random(3)
+        keys = ZipfKeys(1000, skew=0.99)
+        draws = [keys.sample(rng) for _ in range(5000)]
+        head_share = sum(1 for d in draws if d < 10) / len(draws)
+        assert head_share > 0.3  # top-1% of keys absorb a large share
+
+    def test_zero_skew_is_uniform(self):
+        rng = random.Random(4)
+        keys = ZipfKeys(100, skew=0.0)
+        draws = [keys.sample(rng) for _ in range(10_000)]
+        head_share = sum(1 for d in draws if d < 10) / len(draws)
+        assert head_share == pytest.approx(0.1, abs=0.03)
+
+    def test_samples_in_range(self):
+        rng = random.Random(5)
+        keys = ZipfKeys(7, skew=1.2)
+        assert all(0 <= keys.sample(rng) < 7 for _ in range(1000))
+
+
+class TestOpMix:
+    def test_weights_respected(self):
+        rng = random.Random(6)
+        mix = OpMix(ZipfKeys(10), weights=(0.0, 1.0, 0.0, 0.0))
+        assert all(mix.next_verb(rng) == "GET" for _ in range(100))
+
+    def test_private_keys_scoped_to_client(self):
+        rng = random.Random(7)
+        mix = OpMix(ZipfKeys(10), private=True)
+        assert mix.key_for(3, rng).startswith("c3.k")
+        shared = OpMix(ZipfKeys(10), private=False)
+        assert shared.key_for(3, rng).startswith("k")
+
+    def test_value_size(self):
+        rng = random.Random(8)
+        mix = OpMix(ZipfKeys(10), value_size=24)
+        assert len(mix.value(rng)) == 24
+
+    def test_bad_weights(self):
+        with pytest.raises(ConfigError):
+            OpMix(ZipfKeys(10), weights=(0, 0, 0, 0))
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(clients=0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mode="batch")
+        with pytest.raises(ConfigError):
+            WorkloadSpec(mode="open", rate=0.0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(outstanding=0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(arrival="steady")
+
+    def test_arrivals_factory(self):
+        assert isinstance(WorkloadSpec(arrival="bursty").arrivals(), BurstyArrivals)
+        assert isinstance(WorkloadSpec().arrivals(), PoissonArrivals)
+
+
+def _cluster(seed=1, admission=None, batch=16):
+    return SmrCluster.build(
+        SystemConfig(n=4, crypto="hmac", seed=seed),
+        machine_factory=KvStateMachine,
+        protocol=ProtocolConfig(batch_size=batch),
+        seed=seed,
+        admission=admission,
+    )
+
+
+def _run(spec, duration=5.0, warmup=1.0, seed=1, admission=None):
+    cluster = _cluster(seed=seed, admission=admission)
+    population = ClientPopulation(spec, cluster, duration=duration, warmup=warmup)
+    population.install()
+    cluster.run(until=duration)
+    cluster.verify_convergence()
+    return population
+
+
+class TestClientPopulation:
+    def test_closed_loop_completes_and_verifies(self):
+        spec = WorkloadSpec(clients=10, mode="closed", seed=3)
+        population = _run(spec)
+        stats = population.stats
+        assert stats.completed > 0
+        assert stats.verified > 0
+        assert stats.verify_failures == 0
+        assert stats.quantile(0.5) > 0
+
+    def test_open_loop_tracks_offered_rate(self):
+        spec = WorkloadSpec(clients=20, mode="open", rate=200.0, seed=4)
+        population = _run(spec, duration=6.0, warmup=2.0)
+        # Well under capacity: completion rate ≈ offered rate.
+        assert population.stats.e2e_tps() == pytest.approx(200.0, rel=0.25)
+
+    def test_deterministic_replay(self):
+        spec = WorkloadSpec(clients=10, mode="closed", seed=5)
+        a = _run(spec).stats
+        b = _run(spec).stats
+        assert a.summary() == b.summary()
+        assert a.latencies == b.latencies
+
+    def test_closed_loop_survives_rejection_via_retry(self):
+        """A tiny admission queue pushes back; clients must retry the same
+        command and eventually complete (no deadlock, no duplication)."""
+        spec = WorkloadSpec(clients=8, mode="closed", seed=6,
+                            retry_backoff_s=0.02)
+        admission = AdmissionConfig(max_pending=2, policy="reject")
+        population = _run(spec, duration=6.0, admission=admission)
+        stats = population.stats
+        assert stats.completed > 0
+        assert stats.verify_failures == 0
+        # each client applied exactly its completed ops — duplicates would
+        # break the read-your-writes model and show up as verify failures
+        if stats.rejected:
+            assert stats.retries > 0
+
+    def test_shed_oldest_policy_keeps_cluster_live(self):
+        spec = WorkloadSpec(clients=8, mode="closed", seed=7,
+                            retry_backoff_s=0.02)
+        admission = AdmissionConfig(max_pending=2, policy="shed-oldest")
+        population = _run(spec, duration=6.0, admission=admission)
+        assert population.stats.completed > 0
+        assert population.stats.verify_failures == 0
+
+    def test_e2e_latency_at_least_consensus_latency(self):
+        from repro.workload.metrics import MetricsCollector
+
+        collector = MetricsCollector(warmup=1.0, measure_until=5.0)
+        cluster = SmrCluster.build(
+            SystemConfig(n=4, crypto="hmac", seed=8),
+            machine_factory=KvStateMachine,
+            protocol=ProtocolConfig(batch_size=16),
+            seed=8,
+            collector=collector,
+        )
+        spec = WorkloadSpec(clients=10, mode="closed", seed=8)
+        population = ClientPopulation(spec, cluster, duration=5.0, warmup=1.0)
+        population.install()
+        cluster.run(until=5.0)
+        e2e = population.stats.mean_latency()
+        consensus = collector.mean_latency()
+        assert math.isfinite(e2e) and math.isfinite(consensus)
+        # Client latency includes queueing ahead of the proposal the
+        # collector stamps, so it can never be smaller.
+        assert e2e >= consensus - 1e-9

@@ -97,6 +97,53 @@ class TestValidation:
         assert pool.rate == 10.0
 
 
+class TestBoundedBacklog:
+    def test_cap_bounds_backlog_and_counts_drops(self):
+        pool = Mempool(batch_size=10, tx_size=128, rate=1000.0, max_backlog=50)
+        assert pool.backlog(10.0) == 50  # 10k arrived, queue pinned at cap
+        assert pool.accrued_total == 10_000
+        assert pool.dropped_total == 9_950
+
+    def test_backlog_never_exceeds_cap_past_saturation(self):
+        """Satellite regression: open loop past saturation must not accrue
+        chunks without bound — memory and queue depth stay capped."""
+        pool = Mempool(batch_size=10, tx_size=128, rate=500.0, max_backlog=100)
+        for step in range(1, 200):
+            pool.take(now=step * 0.1)
+            assert pool.backlog(step * 0.1) <= 100
+            assert len(pool._chunks) <= 101
+        assert pool.dropped_total > 0
+
+    def test_drain_reopens_admission(self):
+        pool = Mempool(batch_size=40, tx_size=128, rate=100.0, max_backlog=50)
+        assert pool.backlog(1.0) == 50  # 100 arrived, 50 dropped
+        pool.take(now=1.0)              # drains 40, room for 40 again
+        # ~40 fresh arrivals are admitted (one may sit in the fractional
+        # carry); the point is the drain reopened the queue.
+        assert pool.backlog(1.4) in (49, 50)
+
+    def test_admitted_prefix_keeps_fifo_submit_times(self):
+        """When the newest arrivals are shed, the admitted ones occupy the
+        leading fraction of the window — submit times stay honest."""
+        pool = Mempool(batch_size=100, tx_size=128, rate=100.0, max_backlog=50)
+        batch = pool.take(now=1.0)  # 100 arrived in [0,1); only [0,0.5) kept
+        assert batch.count == 50
+        assert batch.mean_submit_time() == pytest.approx(0.25, abs=0.01)
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            Mempool(batch_size=1, tx_size=128, rate=1.0, max_backlog=-1)
+
+    def test_dropped_metric_bound(self):
+        from repro.obs import EventJournal, MetricsRegistry, Observability
+
+        obs = Observability(MetricsRegistry(), EventJournal())
+        pool = Mempool(batch_size=10, tx_size=128, rate=1000.0, max_backlog=10)
+        pool.bind_obs(obs, node_id=3)
+        pool.backlog(1.0)
+        assert obs.metrics.counter_total("mempool.dropped") == pool.dropped_total
+
+
 @settings(max_examples=40)
 @given(
     rate=st.floats(min_value=1.0, max_value=10_000.0),
@@ -104,14 +151,36 @@ class TestValidation:
     steps=st.integers(min_value=1, max_value=30),
 )
 def test_property_conservation(rate, batch, steps):
-    """No transaction is created or destroyed: drained + queued = accrued."""
+    """No transaction is created or destroyed: counts are integers, so the
+    ledger balances *exactly* — drained + queued = accrued, to the last
+    transaction, over arbitrary take/backlog interleavings."""
     pool = Mempool(batch_size=batch, tx_size=128, rate=rate)
     drained = 0
     for step in range(1, steps + 1):
         drained += pool.take(now=step * 0.1).count
     remaining = pool.backlog(steps * 0.1)
-    accrued = rate * steps * 0.1
-    assert drained + remaining == pytest.approx(accrued, abs=1.5)
+    assert drained == pool.taken_total
+    assert drained + remaining == pool.accrued_total
+    # The analytic arrival count tracks rate*time to within the carry.
+    assert pool.accrued_total == pytest.approx(rate * steps * 0.1, abs=1.0)
+
+
+@settings(max_examples=40)
+@given(
+    rate=st.floats(min_value=1.0, max_value=10_000.0),
+    batch=st.integers(min_value=1, max_value=500),
+    cap=st.integers(min_value=1, max_value=2000),
+    steps=st.integers(min_value=1, max_value=30),
+)
+def test_property_conservation_with_cap(rate, batch, cap, steps):
+    """With a bounded backlog the conservation law gains a drop term and
+    still balances exactly: accrued == taken + backlog + dropped."""
+    pool = Mempool(batch_size=batch, tx_size=128, rate=rate, max_backlog=cap)
+    for step in range(1, steps + 1):
+        pool.take(now=step * 0.1)
+    remaining = pool.backlog(steps * 0.1)
+    assert remaining <= cap
+    assert pool.accrued_total == pool.taken_total + remaining + pool.dropped_total
 
 
 @settings(max_examples=40)
