@@ -73,3 +73,53 @@ def test_fig13_scalability_sweep(benchmark, axes, results_dir, jobs):
             assert per_replica[hi] < max(per_replica.values()), protocol
         tusk_tps = curve("tusk", "tps")
         assert tusk_tps[hi] < max(tusk_tps.values())
+
+
+def test_fig13_scale_out_memory_ceiling(axes, results_dir):
+    """The n=100+ extension of Fig. 13: one short LightDAG2 run per
+    scale-out point on the topology model, with DAG GC engaged and the
+    peak-heap probe on.
+
+    This is deliberately not a pytest-benchmark sweep — at n=100 a single
+    run is minutes of wall-clock, and what the scalability story needs is
+    (a) the run completes and commits, (b) the memory ceiling under
+    gc_depth is recorded, (c) both numbers land in benchmarks/results/
+    for EXPERIMENTS.md.  The ``full`` scale adds the n=300 stretch point.
+    """
+    import json
+
+    from repro.config import ExperimentConfig, ProtocolConfig, SystemConfig
+    from repro.harness.runner import run_experiment
+
+    rows = []
+    for n in axes["scale_out_replicas"]:
+        cfg = ExperimentConfig(
+            system=SystemConfig(n=n, crypto="null", seed=7),
+            protocol=ProtocolConfig(batch_size=400, gc_depth=8),
+            protocol_name="lightdag2",
+            duration=2.5,
+            warmup=0.5,
+            latency_model="topology:clusters=8,jitter_frac=0.1",
+            cpu_fixed_us=0.0,  # link-bound smoke: the CPU model would
+            cpu_per_byte_ns=0.0,  # stretch rounds past the time box
+            track_memory=True,
+            seed=7,
+        )
+        result = run_experiment(cfg)
+        assert result.committed_txs > 0, f"n={n} committed nothing"
+        peak_mb = result.extras["peak_mem_mb"]
+        assert peak_mb > 0
+        # The GC'd DAG at n=100 measures ~250 MB peak; 4x that is the
+        # regression tripwire (an un-GC'd run blows well past it).
+        assert peak_mb < 1024 * (n / 100), f"n={n} peaked at {peak_mb:.0f} MB"
+        rows.append(dict(
+            n=n,
+            committed_txs=result.committed_txs,
+            mean_latency_s=round(result.mean_latency, 4),
+            rounds=result.rounds_reached,
+            events=result.events,
+            peak_mem_mb=round(peak_mb, 1),
+        ))
+
+    text = json.dumps(rows, indent=2)
+    save_report(results_dir, "fig13_scale_out", text)

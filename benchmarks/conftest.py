@@ -40,6 +40,7 @@ AXES = {
         batch_ramp=(100, 800),
         duration=8.0,
         tradeoff_replicas=(4,),
+        scale_out_replicas=(100,),
     ),
     "small": dict(
         replica_counts=(7, 22),
@@ -48,6 +49,7 @@ AXES = {
         batch_ramp=(100, 400, 1000, 2000),
         duration=10.0,
         tradeoff_replicas=(7, 22),
+        scale_out_replicas=(100,),
     ),
     "full": dict(
         replica_counts=(7, 22),
@@ -56,6 +58,7 @@ AXES = {
         batch_ramp=(50, 100, 200, 400, 800, 1200, 1600, 2000),
         duration=20.0,
         tradeoff_replicas=(7, 22),
+        scale_out_replicas=(100, 300),
     ),
 }
 

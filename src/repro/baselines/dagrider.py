@@ -41,6 +41,9 @@ class DagRiderNode(BaseDagNode):
     def _manager_for_round(self, round_: int) -> RbcManager:
         return self.rbc
 
+    def _broadcast_managers(self) -> tuple:
+        return (self.rbc,)
+
     def _commit_threshold_value(self) -> int:
         return 2 * self.system.f + 1
 

@@ -41,6 +41,9 @@ class TuskNode(BaseDagNode):
     def _manager_for_round(self, round_: int) -> RbcManager:
         return self.rbc
 
+    def _broadcast_managers(self) -> tuple:
+        return (self.rbc,)
+
     def _commit_threshold_value(self) -> int:
         return self.system.f + 1
 

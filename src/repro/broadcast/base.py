@@ -85,6 +85,12 @@ class InstanceState:
     echoers: Set[int] = field(default_factory=set)
     readiers: Set[int] = field(default_factory=set)
     sent_ready: bool = False
+    #: DAG round of the block, stamped opportunistically from whichever
+    #: message first reveals it (body, echo, ready); -1 = not yet known.
+    #: Drives :meth:`InstanceTracker.gc_below` — without it the tracker
+    #: retains every instance ever seen, which is what unbounds memory on
+    #: long large-n runs.
+    round: int = -1
 
 
 class InstanceTracker:
@@ -116,7 +122,30 @@ class InstanceTracker:
         inst = self.state(block.digest)
         if inst.body is None:
             inst.body = block
+        inst.round = block.round
         return inst
+
+    def gc_below(self, horizon: int) -> int:
+        """Drop instances of rounds below ``horizon``; returns the count.
+
+        Safety: the caller's horizon sits ``gc_depth`` + a wave below the
+        settled commit frontier, so those instances can never influence a
+        future delivery decision here.  A straggler message for a pruned
+        digest merely recreates an empty stub (no body, not ready — it
+        cannot deliver), which the next sweep removes again because the
+        message stamps the same old round.  Instances whose round is
+        still unknown (-1) are kept — they are transient, bounded by the
+        in-flight message population.
+        """
+        instances = self._instances
+        stale = [
+            digest
+            for digest, inst in instances.items()
+            if 0 <= inst.round < horizon
+        ]
+        for digest in stale:
+            del instances[digest]
+        return len(stale)
 
     def mark_ready(self, digest: Digest) -> InstanceState:
         """Protocol signal: the block passed validation and the ancestor

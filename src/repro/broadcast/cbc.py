@@ -113,6 +113,7 @@ class CbcManager:
     def on_echo(self, src: int, echo: BlockEcho) -> bool:
         """Count an echo; returns True if this completed a delivery."""
         inst = self.tracker.state(echo.digest)
+        inst.round = echo.round
         if self._trace is None:
             inst.echoers.add(src)
         else:
@@ -147,6 +148,17 @@ class CbcManager:
 
     def _predicate(self, inst) -> bool:
         return len(inst.echoers) >= self.quorum
+
+    # -- memory ---------------------------------------------------------------
+
+    def gc_below(self, horizon: int) -> int:
+        """Drop per-instance state and vote bookkeeping for rounds below
+        ``horizon`` (the protocol's commit-settled GC watermark)."""
+        removed = self.tracker.gc_below(horizon)
+        stale = [slot for slot in self.votes_by_slot if slot[0] < horizon]
+        for slot in stale:
+            del self.votes_by_slot[slot]
+        return removed + len(stale)
 
     # -- introspection ---------------------------------------------------------
 

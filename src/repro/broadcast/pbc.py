@@ -90,6 +90,10 @@ class PbcManager:
             self._retrieved_ctr.inc()
         return delivered
 
+    def gc_below(self, horizon: int) -> int:
+        """Drop per-instance state for rounds below ``horizon``."""
+        return self.tracker.gc_below(horizon)
+
     def is_delivered(self, digest: Digest) -> bool:
         return self.tracker.is_delivered(digest)
 

@@ -109,6 +109,7 @@ class RbcManager:
 
     def on_echo(self, src: int, echo: BlockEcho) -> bool:
         inst = self.tracker.state(echo.digest)
+        inst.round = echo.round
         inst.echoers.add(src)
         self._slot_of_digest.setdefault(echo.digest, (echo.round, echo.author))
         if len(inst.echoers) >= self.quorum:
@@ -117,6 +118,7 @@ class RbcManager:
 
     def on_ready(self, src: int, ready: BlockReady) -> bool:
         inst = self.tracker.state(ready.digest)
+        inst.round = ready.round
         if self._trace is None:
             inst.readiers.add(src)
         else:
@@ -167,6 +169,23 @@ class RbcManager:
 
     def _predicate(self, inst) -> bool:
         return len(inst.readiers) >= self.quorum
+
+    # -- memory ---------------------------------------------------------------
+
+    def gc_below(self, horizon: int) -> int:
+        """Drop per-instance state and the slot/digest vote maps for rounds
+        below ``horizon`` (the protocol's commit-settled GC watermark)."""
+        removed = self.tracker.gc_below(horizon)
+        stale_slots = [s for s in self._echoed_slots if s[0] < horizon]
+        for slot in stale_slots:
+            self._echoed_slots.discard(slot)
+            self._echoed_digest.pop(slot, None)
+        stale_digests = [
+            d for d, slot in self._slot_of_digest.items() if slot[0] < horizon
+        ]
+        for digest in stale_digests:
+            del self._slot_of_digest[digest]
+        return removed + len(stale_slots) + len(stale_digests)
 
     # -- introspection ---------------------------------------------------------
 

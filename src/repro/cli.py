@@ -129,6 +129,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--crypto", default="hmac",
                        choices=["schnorr", "hmac", "null"])
+    run_p.add_argument("--latency-model", default="wan4", metavar="SPEC",
+                       help="latency model name or spec string, e.g. wan4 or "
+                            "topology:clusters=8,loss=0.01,jitter_frac=0.1 "
+                            "(see repro.net.latency.LATENCY_MODELS)")
+    run_p.add_argument("--gc-depth", type=int, default=None, metavar="WAVES",
+                       help="prune DAG/broadcast state this many waves below "
+                            "the settled commit frontier (bounds memory on "
+                            "long large-n runs; default: keep everything)")
+    run_p.add_argument("--track-memory", action="store_true",
+                       help="record peak Python heap (tracemalloc) as the "
+                            "peak_mem_mb extra")
     _add_retrieval_args(run_p)
     _add_check_arg(run_p)
     run_p.add_argument("--repeats", type=int, default=1,
@@ -297,10 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     load_p.add_argument("--seed", type=int, default=0)
     load_p.add_argument("--crypto", default="hmac",
                         choices=["schnorr", "hmac", "null"])
-    load_p.add_argument("--latency-model", default="uniform",
-                        choices=["uniform", "lan", "wan4"],
-                        help="network latency model (default uniform "
-                             "10-50 ms)")
+    load_p.add_argument("--latency-model", default="uniform", metavar="SPEC",
+                        help="latency model name or spec string (default "
+                             "uniform 10-50 ms; e.g. wan4, "
+                             "topology:clusters=8,loss=0.01)")
     load_p.add_argument("--clients", type=int, default=100)
     load_p.add_argument("--mode", default="open", choices=["open", "closed"])
     load_p.add_argument("--rate", type=float, default=500.0,
@@ -381,13 +392,18 @@ def _make_config(args) -> ExperimentConfig:
             fanout_after=args.fanout_after,
             max_response_blocks=args.max_response_blocks,
         ),
-        protocol=ProtocolConfig(batch_size=args.batch),
+        protocol=ProtocolConfig(
+            batch_size=args.batch,
+            gc_depth=getattr(args, "gc_depth", None),
+        ),
         protocol_name=args.protocol,
         adversary_name=args.adversary,
         duration=args.duration,
         warmup=args.warmup,
         seed=args.seed,
         check_level=args.check_level,
+        latency_model=getattr(args, "latency_model", "wan4"),
+        track_memory=getattr(args, "track_memory", False),
     )
 
 

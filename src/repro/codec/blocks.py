@@ -9,6 +9,7 @@ block whose identity disagrees with its content.
 from __future__ import annotations
 
 from ..core.proofs import ByzantineProof
+from ..crypto.hashing import intern_digest
 from ..crypto.schnorr import SchnorrSignature
 from ..dag.block import Block, TxBatch, compute_block_digest
 from .primitives import CodecError, Reader, Writer
@@ -95,16 +96,24 @@ def decode_block(r: Reader) -> Block:
     """Read a block and *recompute* its digest from the decoded content."""
     round_ = r.uvarint()
     author = r.uvarint()
-    parents = tuple(r.lp_bytes() for _ in range(r.uvarint()))
+    # Digest references are interned: at scale the same parent digest
+    # arrives from up to n peers, and one canonical bytes object per
+    # digest keeps the decoded DAG's reference graph from duplicating
+    # 32-byte strings n times over.
+    parents = tuple(intern_digest(r.lp_bytes()) for _ in range(r.uvarint()))
     payload = decode_batch(r)
     repropose_index = r.uvarint()
     proofs = tuple(decode_proof(r) for _ in range(r.uvarint()))
     determinations = tuple(
-        (r.uvarint(), r.uvarint(), r.lp_bytes()) for _ in range(r.uvarint())
+        (r.uvarint(), r.uvarint(), intern_digest(r.lp_bytes()))
+        for _ in range(r.uvarint())
     )
     signature = decode_signature(r)
-    digest = compute_block_digest(
-        round_, author, parents, payload, repropose_index, proofs, determinations
+    digest = intern_digest(
+        compute_block_digest(
+            round_, author, parents, payload, repropose_index, proofs,
+            determinations,
+        )
     )
     return Block(
         round=round_,

@@ -22,6 +22,7 @@ from ..broadcast.messages import (
     RetrievalResponse,
 )
 from ..crypto.coin import CoinShare
+from ..crypto.hashing import intern_digest
 from ..crypto.threshold import DleqProof, PartialEval
 from ..net.interfaces import Message
 from .blocks import decode_block, encode_block
@@ -149,16 +150,24 @@ def decode_message(data: bytes) -> Message:
     if kind == _KIND_VAL:
         msg = BlockVal(decode_block(r))
     elif kind == _KIND_ECHO:
-        msg = BlockEcho(round=r.uvarint(), author=r.uvarint(), digest=r.lp_bytes())
+        msg = BlockEcho(
+            round=r.uvarint(), author=r.uvarint(),
+            digest=intern_digest(r.lp_bytes()),
+        )
     elif kind == _KIND_READY:
-        msg = BlockReady(round=r.uvarint(), author=r.uvarint(), digest=r.lp_bytes())
+        msg = BlockReady(
+            round=r.uvarint(), author=r.uvarint(),
+            digest=intern_digest(r.lp_bytes()),
+        )
     elif kind == _KIND_RETR_REQ:
         count = r.uvarint()
         # Bound claimed element counts before looping: a malicious frame
         # announcing 2^60 digests must fail fast, not drain the reader.
         if count > MAX_REQUEST_DIGESTS:
             raise CodecError(f"retrieval request claims {count} digests")
-        msg = RetrievalRequest(tuple(r.lp_bytes() for _ in range(count)))
+        msg = RetrievalRequest(
+            tuple(intern_digest(r.lp_bytes()) for _ in range(count))
+        )
     elif kind == _KIND_RETR_RESP:
         count = r.uvarint()
         if count > MAX_REQUEST_DIGESTS:

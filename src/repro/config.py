@@ -263,6 +263,11 @@ class ExperimentConfig:
     #: ``"full"`` — all of the above plus the mid-run invariant monitor
     #: on every honest replica's commit/deliver hooks.
     check_level: str = "prefix"
+    #: Record the run's peak Python heap (``tracemalloc``) as the
+    #: ``peak_mem_mb`` extra.  Off by default: the tracemalloc hooks tax
+    #: every allocation, so this is for scalability studies (memory
+    #: ceilings alongside wall-clock), not routine sweeps.
+    track_memory: bool = False
 
     def __post_init__(self) -> None:
         if self.check_level not in ("off", "prefix", "final", "full"):

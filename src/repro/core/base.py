@@ -192,8 +192,12 @@ class BaseDagNode(Node):
         self.committed_leader_waves: Set[int] = set()
         self.last_settled_wave = 0
         self._deferred_cascades: Set[int] = set()
-        self._known: Set[Digest] = set()
-        self._invalid: Set[Digest] = set()
+        #: digest -> round for every authenticated body seen (dedup gate)
+        #: and every rejected digest.  Round-stamped so :meth:`_gc_state`
+        #: can drop entries below the commit horizon — as plain sets these
+        #: grow with total blocks ever seen, which unbounds long runs.
+        self._known: Dict[Digest, int] = {}
+        self._invalid: Dict[Digest, int] = {}
         self._advance_scheduled = False
         self._sent_share_waves: Set[int] = set()
         #: Highest wave whose coin share we legitimately broadcast; rounds
@@ -234,6 +238,14 @@ class BaseDagNode(Node):
     def _manager_for_round(self, round_: int):
         """The broadcast manager handling blocks of ``round_``."""
         raise NotImplementedError
+
+    def _broadcast_managers(self) -> tuple:
+        """Every broadcast manager this node owns (for GC sweeps).
+
+        Subclasses must return all managers `_manager_for_round` can
+        resolve to; the default keeps manager state forever.
+        """
+        return ()
 
     def _broadcast_block(self, block: Block) -> None:
         self._manager_for_round(block.round).broadcast(block)
@@ -371,12 +383,12 @@ class BaseDagNode(Node):
                         self.retrieval.revive(block.digest)
             return
         if not 0 <= block.author < self.system.n or block.round < 1:
-            self._invalid.add(block.digest)
+            self._invalid[block.digest] = block.round
             return
         if not self.backend.verify(block.author, block.digest, block.signature):
-            self._invalid.add(block.digest)
+            self._invalid[block.digest] = block.round
             return
-        self._known.add(block.digest)
+        self._known[block.digest] = block.round
         if self._trace is not None:
             # Carry the parent digests so the analysis layer can walk a
             # committed block's causal ancestry from the journal alone.
@@ -422,7 +434,7 @@ class BaseDagNode(Node):
             self._try_accept(block, src, retrieved=retrieved)
             return
         except InvalidBlockError:
-            self._invalid.add(block.digest)
+            self._invalid[block.digest] = block.round
             self.retrieval.drop_pending(block.digest)
             return
         self._participate(block, src)
@@ -796,6 +808,17 @@ class BaseDagNode(Node):
         Without this, round-/digest-keyed maps grow without bound on long
         runs even with ``gc_depth`` set.
         """
+        # Broadcast-layer state (instance trackers, vote bookkeeping) and
+        # the body dedup/reject maps: everything below the horizon belongs
+        # to settled waves and can never deliver or vote again.  A
+        # straggler message for a pruned digest re-enters through the
+        # normal paths (re-verify, empty instance stub) and is re-pruned
+        # on the next sweep.
+        for manager in self._broadcast_managers():
+            manager.gc_below(horizon)
+        for mapping in (self._known, self._invalid):
+            for digest in [d for d, r in mapping.items() if r < horizon]:
+                del mapping[digest]
         if self.protocol.weak_links:
             if self._uncovered:
                 stale = [

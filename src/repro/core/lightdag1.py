@@ -47,6 +47,9 @@ class LightDag1Node(BaseDagNode):
     def _manager_for_round(self, round_: int) -> CbcManager:
         return self.cbc
 
+    def _broadcast_managers(self) -> tuple:
+        return (self.cbc,)
+
     def _participate(self, block: Block, src: int) -> None:
         """Echo at most one block per slot — the honest-replica discipline
         CBC's consistency proof rests on."""

@@ -112,6 +112,9 @@ class LightDag2Node(BaseDagNode):
     def _manager_for_round(self, round_: int):
         return self.cbc if self.round_kind(round_) == self.CBC_E else self.pbc
 
+    def _broadcast_managers(self) -> tuple:
+        return (self.pbc, self.cbc)
+
     def _commit_threshold_value(self) -> int:
         return self.system.quorum  # n - f, §III-D
 

@@ -26,6 +26,37 @@ def hash_bytes(data: bytes) -> Digest:
     return hashlib.sha256(data).digest()
 
 
+#: Bound on the digest intern table.  When full the table is cleared
+#: wholesale rather than LRU-evicted: interning is a best-effort space
+#: optimization, and a clear costs one round of re-population while an
+#: LRU would tax every hit.  65536 * 32 B ≈ 2 MiB of canonical digests —
+#: far more distinct live digests than any run's working set.
+_INTERN_CAP = 1 << 16
+
+_intern_table: dict = {}
+
+
+def intern_digest(digest: Digest) -> Digest:
+    """Canonicalize a digest to one shared ``bytes`` instance.
+
+    At n=100+ every replica decodes the same parent/echo digests from up
+    to n peers, materializing n duplicate 32-byte objects per digest.
+    Routing decoders through this table collapses them to one instance
+    (~n× less digest garbage on the wire paths).  Purely a space
+    optimization: digests are immutable values, equality and hashing are
+    unchanged, so behaviour is identical whether or not two references
+    alias.
+    """
+    table = _intern_table
+    cached = table.get(digest)
+    if cached is not None:
+        return cached
+    if len(table) >= _INTERN_CAP:
+        table.clear()
+    table[digest] = digest
+    return digest
+
+
 def _encode_field(h: "hashlib._Hash", field: Field) -> None:
     if field is None:
         h.update(b"N")

@@ -276,10 +276,22 @@ def run_experiment(
             fixed_s=cfg.cpu_fixed_us * 1e-6,
             per_byte_s=cfg.cpu_per_byte_ns * 1e-9,
         )
+    # Topology models expose per-replica NIC heterogeneity as a scale
+    # factor on the configured egress rate (TopologyLatency's
+    # bandwidth_spread); homogeneous models keep the scalar.
+    bandwidth = cfg.bandwidth_bps
+    bw_scale = getattr(latency, "node_bandwidth_scale", None)
+    if bandwidth and bw_scale is not None:
+        bandwidth = [bandwidth * bw_scale(i) for i in range(system.n)]
+    peak_mem_mb = None
+    if cfg.track_memory:
+        import tracemalloc
+
+        tracemalloc.start()
     sim = Simulation(
         [factory_for(i) for i in range(system.n)],
         latency_model=latency,
-        bandwidth_bps=cfg.bandwidth_bps,
+        bandwidth_bps=bandwidth,
         adversary=adversary,
         cpu=cpu,
         seed=cfg.seed,
@@ -287,7 +299,13 @@ def run_experiment(
     )
     if monitor is not None:
         monitor.bind(sim.nodes)
-    sim.run(until=cfg.duration)
+    try:
+        sim.run(until=cfg.duration)
+    finally:
+        if cfg.track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            peak_mem_mb = peak / (1024 * 1024)
 
     honest_ids = [
         i
@@ -306,6 +324,8 @@ def run_experiment(
         if hasattr(node, "reproposals"):
             extras["reproposals"] = extras.get("reproposals", 0) + node.reproposals
     extras["retrieval_requests"] = sum(n.retrieval.requests_sent for n in honest)
+    if peak_mem_mb is not None:
+        extras["peak_mem_mb"] = peak_mem_mb
     if cfg.mempool_cap:
         extras["mempool_dropped"] = sum(m.dropped_total for m in mempools)
 

@@ -16,16 +16,21 @@ Protocols never import either runtime; they are written against the
 
 from .interfaces import BROADCAST, Message, NetworkAPI, Node
 from .latency import (
+    FactoredLatency,
     FixedLatency,
     LatencyModel,
+    TopologyLatency,
     UniformLatency,
     WanLatency,
     make_latency_model,
+    parse_latency_spec,
+    register_latency_model,
 )
 from .simulator import Simulation, SimulationStats
 
 __all__ = [
     "BROADCAST",
+    "FactoredLatency",
     "FixedLatency",
     "LatencyModel",
     "Message",
@@ -33,7 +38,10 @@ __all__ = [
     "Node",
     "Simulation",
     "SimulationStats",
+    "TopologyLatency",
     "UniformLatency",
     "WanLatency",
     "make_latency_model",
+    "parse_latency_spec",
+    "register_latency_model",
 ]

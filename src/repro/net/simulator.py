@@ -45,6 +45,7 @@ import copy
 import heapq
 import io
 import math
+import os
 import pickle
 import random
 from dataclasses import dataclass
@@ -54,11 +55,46 @@ from typing import Any, Callable, List, Optional, Sequence
 from ..errors import SimulationError
 from ..obs import NULL_OBS, Observability
 from .interfaces import Message, NetworkAPI, Node, NodeFactory
-from .latency import FixedLatency, LatencyModel
+from .latency import FactoredLatency, FixedLatency, LatencyModel
 
 _DELIVER = 0
 _TIMER = 1
 _PROCESS = 2
+#: A whole broadcast fan-out as ONE heap entry: ``(when, seq, _BATCH,
+#: src, idx, (arrivals, seqs, dsts, msg))`` where the payload lists are
+#: sorted by ``(arrival, seq)``.  The run loop delivers ``idx`` and
+#: re-keys the entry to ``idx + 1`` with a single ``heapreplace`` sift.
+#: The heap holds O(broadcasts-in-flight) entries instead of O(n²)
+#: copies, which shrinks every sift at large n; the pop order is exactly
+#: the per-copy order because each batch's head is always its
+#: ``(when, seq)``-minimal remaining element.
+_BATCH = 3
+
+#: Valid values for the ``engine`` knob (see :class:`Simulation`).
+_ENGINES = ("auto", "flat", "generic", "numpy")
+
+#: Below this fan-out the numpy batch path costs more than it saves.
+_NUMPY_MIN_FANOUT = 32
+
+_NUMPY_UNSET = object()
+_numpy_mod: Any = _NUMPY_UNSET
+
+
+def _numpy():
+    """The numpy module, or ``None`` — resolved once, never a hard dep.
+
+    Kept out of instance state on purpose: a module object would poison
+    snapshot pickling, and the fallback must stay zero-dependency.
+    """
+    global _numpy_mod
+    if _numpy_mod is _NUMPY_UNSET:
+        try:
+            import numpy  # noqa: PLC0415 - optional accelerator
+
+            _numpy_mod = numpy
+        except ImportError:  # pragma: no cover - numpy present in CI image
+            _numpy_mod = None
+    return _numpy_mod
 
 
 @dataclass(frozen=True)
@@ -197,12 +233,12 @@ class _SimNetworkAPI(NetworkAPI):
                 counts = sim._obs_counts(msg.__class__)
             counts[0] += 1
             counts[1] += size
-        bandwidth = sim.bandwidth_bps
-        if bandwidth is not None:
+        node_bw = sim._node_bw
+        if node_bw is not None:
             egress = sim._egress_free
             free = egress[src]
             start = free if free > now else now
-            finish = start + size * 8.0 / bandwidth
+            finish = start + size * 8.0 / node_bw[src]
             egress[src] = finish
             if obs_on:
                 if start > now:
@@ -211,7 +247,18 @@ class _SimNetworkAPI(NetworkAPI):
                     sim._obs_egress_zero += 1
         else:
             finish = now
-        arrival = finish + sim.latency.delay(src, dst, sim.rng)
+        if sim._lossy:
+            d = sim.latency.sample(src, dst, sim.rng, now)
+            if d is None:
+                # Link loss: NIC time was spent (the packet went out),
+                # recovery rides the §IV-A retrieval path.
+                stats.messages_dropped += 1
+                if obs_on:
+                    sim._obs_counts(msg.__class__)[3] += 1
+                return
+        else:
+            d = sim.latency.delay(src, dst, sim.rng)
+        arrival = finish + d
         seq = sim._seq
         sim._seq = seq + 1
         _heappush(sim._queue, (arrival, seq, _DELIVER, src, dst, msg))
@@ -276,18 +323,72 @@ class Simulation:
         self,
         factories: Sequence[NodeFactory],
         latency_model: LatencyModel | None = None,
-        bandwidth_bps: float | None = None,
+        bandwidth_bps: "float | Sequence[float] | None" = None,
         adversary: Optional["AdversaryProtocol"] = None,
         cpu: CpuCost | None = None,
         seed: int = 0,
         obs: Observability | None = None,
+        engine: str | None = None,
     ) -> None:
         self.latency = latency_model or FixedLatency()
         self.bandwidth_bps = bandwidth_bps
+        if bandwidth_bps is None:
+            self._node_bw: Optional[List[float]] = None
+        else:
+            # Scalar = homogeneous NICs (the paper's testbed); a sequence
+            # gives each replica its own egress rate (TopologyLatency's
+            # bandwidth_spread — the harness builds the list).
+            try:
+                rates = [float(b) for b in bandwidth_bps]  # type: ignore[union-attr]
+            except TypeError:
+                rates = [float(bandwidth_bps)] * len(factories)
+            if len(rates) != len(factories):
+                raise SimulationError(
+                    f"bandwidth_bps has {len(rates)} entries for "
+                    f"{len(factories)} replicas"
+                )
+            if any(rate <= 0 for rate in rates):
+                raise SimulationError("per-node bandwidth must be positive")
+            self._node_bw = rates
         self.adversary = adversary
         self.cpu = cpu
         self.rng = random.Random(f"sim:{seed}")
         self.now = 0.0
+        # --- engine selection (see module docstring) ---------------------
+        # "auto"/"flat": inline the factored-latency fast path on the
+        # broadcast fan-out when the model supports it; "generic" keeps the
+        # per-copy latency.delay() path (the pre-flat engine — benchmarks
+        # compare against it); "numpy" additionally vectorizes large
+        # fan-outs (bit-identical, pure-python fallback when numpy is
+        # missing).  Lossy models always sample per copy.
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE", "auto")
+        if engine not in _ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r} (one of {_ENGINES})"
+            )
+        self.engine = engine
+        self._lossy = bool(getattr(self.latency, "lossy", False))
+        flat_ok = (
+            engine != "generic"
+            and isinstance(self.latency, FactoredLatency)
+            and not self._lossy
+        )
+        #: src -> per-destination base-delay row (lazily built); None when
+        #: the flat fast path is off.  A pure function of the pinned
+        #: latency model, so snapshot/restore may capture it freely.
+        self._flat_rows: Optional[dict] = {} if flat_ok else None
+        self._flat_jitter = (
+            float(getattr(self.latency, "jitter_frac", 0.0)) if flat_ok else 0.0
+        )
+        #: src -> (bases, dsts, arange, draw?) arrays for the vectorized
+        #: delivery-batch path, or ``()`` for rows it cannot serve (mixed
+        #: zero/non-zero bases would change the RNG draw count).  Only
+        #: populated under engine="numpy"; a pure function of the pinned
+        #: latency model, so snapshots may capture it freely.
+        self._np_rows: Optional[dict] = (
+            {} if flat_ok and engine == "numpy" and _numpy() is not None else None
+        )
         self.stats = SimulationStats(per_node_bytes=[0] * len(factories))
         self.obs = obs if obs is not None else NULL_OBS
         self._obs_on = self.obs.enabled
@@ -306,6 +407,10 @@ class Simulation:
         #: (list.append is ~4x cheaper than a per-event observe); the
         #: common NIC-idle case (wait 0) stays a plain int.
         self._obs_egress_waits: list = []
+        #: broadcast fan-out waits staged as (first, step, count)
+        #: arithmetic progressions — one tuple per broadcast from the
+        #: flat path, expanded into ``_obs_egress_waits`` at flush.
+        self._obs_egress_runs: list = []
         self._obs_egress_zero = 0
         self._obs_cpu_waits: list = []
         metrics = self.obs.metrics
@@ -364,8 +469,17 @@ class Simulation:
         if self._obs_msg_counts or self._obs_inflight_prev:
             inflight: dict = {}
             for ev in self._queue:
-                # kind != _TIMER → a delivery/process record (src, dst, msg)
-                if ev[2] != _TIMER and ev[3] != ev[4]:
+                kind = ev[2]
+                if kind == _BATCH:
+                    # One entry, many copies: all undelivered arrivals of
+                    # the batch (the enqueue path currently declines when
+                    # obs is on, but the accounting must not depend on
+                    # that).
+                    payload = ev[5]
+                    cls = payload[3].__class__
+                    inflight[cls] = inflight.get(cls, 0) + len(payload[0]) - ev[4]
+                elif kind != _TIMER and ev[3] != ev[4]:
+                    # a delivery/process record (src, dst, msg)
                     cls = ev[5].__class__
                     inflight[cls] = inflight.get(cls, 0) + 1
             for msg_cls in {
@@ -390,6 +504,19 @@ class Simulation:
                     dropped_c.inc(counts[3])
                 counts[0] = counts[1] = counts[2] = counts[3] = 0
                 self._obs_inflight_prev[msg_cls] = backlog
+        if self._obs_egress_runs:
+            # Expand the staged (first, step, count) progressions from the
+            # broadcast fast path.  Values are reconstructed by closed
+            # form (first + step*k), which can differ from the per-copy
+            # iterative sum in the last ulp — telemetry only, never fed
+            # back into the schedule.
+            waits = self._obs_egress_waits
+            for first, step, count in self._obs_egress_runs:
+                if count == 1:
+                    waits.append(first)
+                else:
+                    waits.extend([first + step * k for k in range(count)])
+            self._obs_egress_runs.clear()
         self._h_egress_wait.observe_bulk(self._obs_egress_waits)
         self._obs_egress_waits.clear()
         if self._obs_egress_zero:
@@ -437,9 +564,9 @@ class Simulation:
         else:
             extra_delay = 0.0
 
-        if self.bandwidth_bps is not None:
+        if self._node_bw is not None:
             start = max(self.now, self._egress_free[src])
-            finish = start + size * 8.0 / self.bandwidth_bps
+            finish = start + size * 8.0 / self._node_bw[src]
             self._egress_free[src] = finish
             if self._obs_on:
                 if start > self.now:
@@ -448,7 +575,16 @@ class Simulation:
                     self._obs_egress_zero += 1
         else:
             finish = self.now
-        arrival = finish + self.latency.delay(src, dst, self.rng) + extra_delay
+        if self._lossy:
+            d = self.latency.sample(src, dst, self.rng, self.now)
+            if d is None:
+                stats.messages_dropped += 1
+                if self._obs_on:
+                    self._obs_counts(msg.__class__)[3] += 1
+                return
+        else:
+            d = self.latency.delay(src, dst, self.rng)
+        arrival = finish + d + extra_delay
         seq = self._seq
         self._seq = seq + 1
         heapq.heappush(self._queue, (arrival, seq, _DELIVER, src, dst, msg))
@@ -462,6 +598,14 @@ class Simulation:
         :meth:`_enqueue_send` once per destination in ascending ``dst``
         order, but with the crash check, stats accounting, and the NIC
         serialization term hoisted out of the per-copy loop.
+
+        With a :class:`~repro.net.latency.FactoredLatency` model and no
+        adversary, the per-copy latency call is inlined against a
+        precomputed base-delay row (the *flat* engine): one uniform draw
+        and three float ops per copy instead of a four-call tower through
+        ``latency.delay``.  Bit-identical to the generic path by
+        construction — CPython's ``Random.uniform(a, b)`` is
+        ``a + (b - a) * random()``, the exact expression inlined here.
         """
         if src in self._crashed:
             return
@@ -477,11 +621,81 @@ class Simulation:
             stats.bytes_sent += copies * size
             stats.per_node_bytes[src] += copies * size
         adversary = self.adversary
-        bandwidth = self.bandwidth_bps
+        node_bw = self._node_bw
         egress = self._egress_free
-        latency_delay = self.latency.delay
         rng = self.rng
         obs_on = self._obs_on
+        rows = self._flat_rows
+        if adversary is None and rows is not None:
+            # ---- flat fast path (factored latency, reliable links) ----
+            row = rows.get(src)
+            if row is None:
+                row = rows[src] = self.latency.base_row(src, n)
+            np_rows = self._np_rows
+            if (
+                np_rows is not None
+                and copies >= _NUMPY_MIN_FANOUT
+                and not obs_on
+                and self._enqueue_broadcast_numpy(
+                    src, msg, size, include_self, row, np_rows
+                )
+            ):
+                return
+            if node_bw is not None:
+                ser = size * 8.0 / node_bw[src]
+                free = egress[src]
+            else:
+                ser = 0.0
+                free = now
+            free0 = free
+            jfrac = self._flat_jitter
+            neg = -jfrac
+            uniform = rng.uniform
+            for dst in range(n):
+                if dst == src:
+                    if include_self:
+                        push(queue, (now, seq, _DELIVER, src, dst, msg))
+                        seq += 1
+                    continue
+                if node_bw is not None:
+                    start = free if free > now else now
+                    finish = start + ser
+                    free = finish
+                else:
+                    finish = now
+                base = row[dst]
+                if base != 0.0 and jfrac != 0.0:
+                    arrival = finish + base * (1.0 + uniform(neg, jfrac))
+                else:
+                    arrival = finish + base
+                push(queue, (arrival, seq, _DELIVER, src, dst, msg))
+                seq += 1
+            if node_bw is not None:
+                egress[src] = free
+            self._seq = seq
+            if obs_on and node_bw is not None and copies > 0:
+                # Egress waits staged as one arithmetic progression per
+                # broadcast: the NIC drains FIFO, so the k-th wire copy
+                # starts at max(free0, now) + k*ser.  One tuple append
+                # here, expanded at flush time (``_obs_flush``) — the
+                # per-copy staging branch stays off the hot loop (the
+                # <5% engine-loop budget in bench_micro_obs needs the
+                # headroom at small n, and at n=100 this is 1 op vs 99).
+                wait0 = free0 - now
+                if wait0 > 0.0:
+                    self._obs_egress_runs.append((wait0, ser, copies))
+                elif ser > 0.0:
+                    self._obs_egress_zero += 1
+                    if copies > 1:
+                        self._obs_egress_runs.append((ser, ser, copies - 1))
+                else:
+                    self._obs_egress_zero += copies
+            return
+        # ---- generic path: adversary, lossy links, or engine="generic" ----
+        latency = self.latency
+        latency_delay = latency.delay
+        latency_sample = latency.sample if self._lossy else None
+        ser = size * 8.0 / node_bw[src] if node_bw is not None else 0.0
         if obs_on:
             obs_waits_append = self._obs_egress_waits.append
             obs_zero = 0
@@ -511,10 +725,10 @@ class Simulation:
                     )
             else:
                 extra_delay = 0.0
-            if bandwidth is not None:
+            if node_bw is not None:
                 free = egress[src]
                 start = free if free > now else now
-                finish = start + size * 8.0 / bandwidth
+                finish = start + ser
                 egress[src] = finish
                 if obs_on:
                     if start > now:
@@ -523,12 +737,116 @@ class Simulation:
                         obs_zero += 1
             else:
                 finish = now
-            arrival = finish + latency_delay(src, dst, rng) + extra_delay
+            if latency_sample is not None:
+                d = latency_sample(src, dst, rng, now)
+                if d is None:
+                    self.stats.messages_dropped += 1
+                    if obs_on:
+                        self._obs_counts(msg.__class__)[3] += 1
+                    continue
+            else:
+                d = latency_delay(src, dst, rng)
+            arrival = finish + d + extra_delay
             push(queue, (arrival, seq, _DELIVER, src, dst, msg))
             seq += 1
         self._seq = seq
         if obs_on and obs_zero:
             self._obs_egress_zero += obs_zero
+
+    def _enqueue_broadcast_numpy(
+        self,
+        src: int,
+        msg: Message,
+        size: int,
+        include_self: bool,
+        row: List[float],
+        np_rows: dict,
+    ) -> bool:
+        """Vectorized delivery batch (engine="numpy"): False to decline.
+
+        Builds the whole fan-out as arrays — jitter draws, NIC chain,
+        arrival sort — and pushes a single ``_BATCH`` heap entry instead
+        of n − 1 copies.  Bit-identical to the flat loop by construction:
+
+        * the uniforms come from the same ``rng.random()`` stream in the
+          same order, and ``uniform(a, b) == a + (b − a) * random()`` is
+          applied elementwise in the scalar path's exact op order;
+        * the NIC serialization chain is ``cumsum`` over per-copy service
+          times (sequential adds — exactly the loop's running sum);
+        * the batch is sorted by arrival with a *stable* sort (seqs are
+          ascending pre-sort), so its pop order is the heap's
+          ``(when, seq)`` order.
+
+        Declines rows that mix zero and non-zero bases under non-zero
+        jitter: the scalar path skips the draw for zero-base copies, so
+        vectorizing would desynchronize the RNG stream.  All-zero rows
+        and zero-jitter models draw nothing and vectorize fine.
+        """
+        np = _numpy()
+        entry = np_rows.get(src)
+        if entry is None:
+            n = len(row)
+            jfrac = self._flat_jitter
+            bases = [b for dst, b in enumerate(row) if dst != src]
+            nonzero = sum(1 for b in bases if b != 0.0)
+            if jfrac != 0.0 and 0 < nonzero < len(bases):
+                entry = np_rows[src] = ()
+            else:
+                dsts = [d for d in range(n) if d != src]
+                entry = np_rows[src] = (
+                    np.asarray(bases, dtype=np.float64),
+                    np.asarray(dsts, dtype=np.int64),
+                    np.arange(len(dsts), dtype=np.int64),
+                    jfrac != 0.0 and nonzero == len(bases),
+                )
+        if not entry:
+            return False
+        base_arr, dst_arr, arange_k, draw = entry
+        k = len(dst_arr)
+        if draw:
+            rnd = self.rng.random
+            draws = np.asarray([rnd() for _ in range(k)], dtype=np.float64)
+            jfrac = self._flat_jitter
+            neg = -jfrac
+            jitters = neg + (jfrac - neg) * draws
+            delays = base_arr * (1.0 + jitters)
+        else:
+            # jfrac == 0 or every base is 0: delay == base, no draws.
+            delays = base_arr
+        now = self.now
+        node_bw = self._node_bw
+        if node_bw is not None:
+            egress = self._egress_free
+            ser = size * 8.0 / node_bw[src]
+            free = egress[src]
+            start0 = free if free > now else now
+            chain = np.full(k, ser, dtype=np.float64)
+            chain[0] = start0 + ser
+            finishes = np.cumsum(chain)
+            arrivals = finishes + delays
+            egress[src] = float(finishes[-1])
+        else:
+            arrivals = now + delays
+        # Seq assignment matches the scalar loop: one seq per destination
+        # in ascending dst order, with src's position consumed by the
+        # self-delivery (when included) or skipped entirely.
+        seq = self._seq
+        seqs = (seq + dst_arr) if include_self else (seq + arange_k)
+        order = np.argsort(arrivals, kind="stable")
+        payload = (
+            arrivals[order].tolist(),
+            seqs[order].tolist(),
+            dst_arr[order].tolist(),
+            msg,
+        )
+        queue = self._queue
+        if include_self:
+            _heappush(queue, (now, seq + src, _DELIVER, src, src, msg))
+            self._seq = seq + k + 1
+        else:
+            self._seq = seq + k
+        _heappush(queue, (payload[0][0], payload[1][0], _BATCH, src, 0, payload))
+        return True
 
     def _enqueue_timer(self, node_id: int, delay: float, tag: str, data: Any) -> None:
         if delay < 0:
@@ -610,6 +928,7 @@ class Simulation:
         queue = self._queue
         pop = heapq.heappop
         push = heapq.heappush
+        replace = heapq.heapreplace
         crashed = self._crashed
         stats = self.stats
         cpu = self.cpu
@@ -622,7 +941,7 @@ class Simulation:
         # the tracing-off run loop pays nothing beyond that branch.
         trace = self.obs.trace if self.obs.trace.enabled else None
         limit = until if until is not None else math.inf
-        deliver, process = _DELIVER, _PROCESS
+        deliver, process, batch = _DELIVER, _PROCESS, _BATCH
         # Handlers prebound once per run(): one attribute hop per event
         # instead of two.  Crash-stop goes through ``crashed``, never
         # through the node table, so the bindings stay valid all run.
@@ -632,16 +951,16 @@ class Simulation:
         flushed = 0
         delivered = 0
         while queue:
-            head = pop(queue)
+            head = queue[0]
             when = head[0]
             if when > limit:
-                # Beyond the horizon: restore the event and stop.
-                push(queue, head)
+                # Beyond the horizon: leave the event queued and stop.
                 self.now = until
                 break
             self.now = when
             kind = head[2]
             if kind == deliver:
+                pop(queue)
                 dst = head[4]
                 src = head[3]
                 if dst in crashed:
@@ -675,7 +994,54 @@ class Simulation:
                 else:
                     delivered += 1
                     on_message[dst](src, head[5])
+            elif kind == batch:
+                # One broadcast, one heap entry: deliver arrivals[idx],
+                # then advance the cursor with a single heapreplace sift
+                # (cheaper than pop + push).  Batches never contain the
+                # self-delivery, so src != dst throughout.
+                payload = head[5]
+                idx = head[4]
+                src = head[3]
+                arrivals = payload[0]
+                nxt = idx + 1
+                if nxt < len(arrivals):
+                    replace(
+                        queue,
+                        (arrivals[nxt], payload[1][nxt], batch, src, nxt, payload),
+                    )
+                else:
+                    pop(queue)
+                dst = payload[2][idx]
+                if dst in crashed:
+                    if obs_on:
+                        self._obs_counts(payload[3].__class__)[2] += 1
+                elif cpu_cost is not None:
+                    msg = payload[3]
+                    cost = cpu_cost(msg.wire_size())
+                    free = cpu_free[dst]
+                    if free <= when:
+                        cpu_free[dst] = when + cost
+                        delivered += 1
+                        on_message[dst](src, msg)
+                    else:
+                        if obs_on:
+                            cpu_waits.append(free - when)
+                            if trace is not None:
+                                trace.emit(
+                                    when, "trace.cpu_wait", dst,
+                                    wait=free - when,
+                                    msg=msg.__class__.__name__,
+                                )
+                        ready = free + cost
+                        cpu_free[dst] = ready
+                        seq = self._seq
+                        self._seq = seq + 1
+                        push(queue, (ready, seq, process, src, dst, msg))
+                else:
+                    delivered += 1
+                    on_message[dst](src, payload[3])
             elif kind == process:
+                pop(queue)
                 dst = head[4]
                 if dst in crashed:
                     if obs_on and head[3] != dst:
@@ -684,6 +1050,7 @@ class Simulation:
                     delivered += 1
                     on_message[dst](head[3], head[5])
             else:  # timer
+                pop(queue)
                 node_id = head[3]
                 tag = head[4]
                 if tag == "__crash__":
@@ -771,7 +1138,13 @@ class Simulation:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        """Undelivered events in the queue (batch entries count each
+        remaining arrival, so the number is representation-independent)."""
+        extra = 0
+        for ev in self._queue:
+            if ev[2] == _BATCH:
+                extra += len(ev[5][0]) - ev[4] - 1
+        return len(self._queue) + extra
 
     def snapshot(self, extra_roots: Sequence[object] = ()) -> "SimulatorSnapshot":
         """Capture a restorable snapshot of the whole world (see

@@ -1,0 +1,147 @@
+"""Unit tests for broadcast-layer garbage collection (gc_below).
+
+The commit-horizon sweep added for large-n runs: every manager drops its
+per-instance state (and any slot-keyed side tables) for rounds below the
+watermark, keeps everything at or above it, keeps round-unknown stubs,
+and stays correct when a straggler message resurrects a pruned digest.
+"""
+
+import pytest
+
+from repro.broadcast.base import InstanceTracker
+from repro.broadcast.cbc import CbcManager
+from repro.broadcast.messages import BlockEcho, BlockReady
+from repro.broadcast.pbc import PbcManager
+from repro.broadcast.rbc import RbcManager
+from repro.dag.block import genesis_block, make_block
+
+from ..conftest import FakeNet
+
+QUORUM = 3  # n=4, f=1
+
+
+def block_at(round_, author=0, j=0):
+    return make_block(
+        round_, author, [genesis_block(a).digest for a in range(4)],
+        repropose_index=j,
+    )
+
+
+def echo_for(block):
+    return BlockEcho(round=block.round, author=block.author, digest=block.digest)
+
+
+class TestTrackerGcBelow:
+    def test_prunes_only_below_horizon(self):
+        tracker = InstanceTracker(on_deliver=lambda b: None)
+        old, young = block_at(3), block_at(9)
+        tracker.record_body(old)
+        tracker.record_body(young)
+        removed = tracker.gc_below(5)
+        assert removed == 1
+        assert tracker.peek(old.digest) is None
+        assert tracker.peek(young.digest) is not None
+
+    def test_unstamped_instances_survive(self):
+        """An instance created by an out-of-order echo before any round
+        stamp (round == -1) is transient in-flight state, not GC fodder."""
+        tracker = InstanceTracker(on_deliver=lambda b: None)
+        inst = tracker.state(b"\x01" * 32)
+        assert inst.round == -1
+        assert tracker.gc_below(100) == 0
+        assert tracker.peek(b"\x01" * 32) is not None
+
+    def test_horizon_is_exclusive(self):
+        tracker = InstanceTracker(on_deliver=lambda b: None)
+        tracker.record_body(block_at(5))
+        assert tracker.gc_below(5) == 0  # round 5 is not below horizon 5
+        assert tracker.gc_below(6) == 1
+
+    def test_round_stamped_by_messages_not_just_bodies(self):
+        """Echo/ready handlers stamp rounds too, so body-less instances
+        are still sweepable once any message names their round."""
+        net = FakeNet(node_id=0, n=4)
+        manager = RbcManager(net, quorum=QUORUM, amplify_threshold=2,
+                             on_deliver=lambda b: None)
+        block = block_at(2)
+        manager.on_echo(1, echo_for(block))
+        manager.on_ready(
+            1, BlockReady(round=block.round, author=block.author,
+                          digest=block.digest)
+        )
+        inst = manager.tracker.peek(block.digest)
+        assert inst.round == 2
+        assert manager.gc_below(5) >= 1
+        assert manager.tracker.peek(block.digest) is None
+
+
+class TestCbcGc:
+    def test_sweeps_instances_and_vote_slots(self):
+        net = FakeNet(node_id=0, n=4)
+        delivered = []
+        manager = CbcManager(net, quorum=QUORUM, on_deliver=delivered.append)
+        old, young = block_at(2), block_at(8)
+        for block in (old, young):
+            manager.on_val(block.author, block)
+            manager.vote(block)
+        assert old.slot in manager.votes_by_slot
+        manager.gc_below(5)
+        assert old.slot not in manager.votes_by_slot
+        assert young.slot in manager.votes_by_slot
+        assert manager.tracker.peek(old.digest) is None
+        assert manager.tracker.peek(young.digest) is not None
+
+    def test_straggler_echo_after_prune_cannot_deliver(self):
+        """A quorum of echoes for a pruned digest recreates only an empty
+        stub: no body, not ready, so the single-delivery discipline holds
+        and the next sweep removes the stub again."""
+        net = FakeNet(node_id=0, n=4)
+        delivered = []
+        manager = CbcManager(net, quorum=QUORUM, on_deliver=delivered.append)
+        block = block_at(2)
+        manager.on_val(block.author, block)
+        manager.mark_ready(block.digest)
+        for src in range(QUORUM):
+            manager.on_echo(src, echo_for(block))
+        assert delivered == [block]
+        manager.gc_below(5)
+
+        for src in range(QUORUM):
+            assert manager.on_echo(src, echo_for(block)) is False
+        assert delivered == [block]  # no double delivery
+        stub = manager.tracker.peek(block.digest)
+        assert stub.body is None and not stub.ready
+        assert stub.round == block.round  # the echo re-stamped it...
+        manager.gc_below(5)
+        assert manager.tracker.peek(block.digest) is None  # ...so it re-GCs
+
+
+class TestRbcGc:
+    def test_sweeps_slot_maps(self):
+        net = FakeNet(node_id=0, n=4)
+        manager = RbcManager(net, quorum=QUORUM, amplify_threshold=2,
+                             on_deliver=lambda b: None)
+        old, young = block_at(2), block_at(8)
+        for block in (old, young):
+            manager.on_val(block.author, block)
+            manager.echo(block)
+        assert old.slot in manager._echoed_slots
+        assert old.digest in manager._slot_of_digest
+        manager.gc_below(5)
+        assert old.slot not in manager._echoed_slots
+        assert old.digest not in manager._slot_of_digest
+        assert young.slot in manager._echoed_slots
+        assert young.digest in manager._slot_of_digest
+
+
+class TestPbcGc:
+    def test_sweeps_instances(self):
+        net = FakeNet(node_id=0, n=4)
+        manager = PbcManager(net, on_deliver=lambda b: None)
+        old, young = block_at(2), block_at(8)
+        for block in (old, young):
+            manager.on_val(block.author, block)
+        removed = manager.gc_below(5)
+        assert removed == 1
+        assert manager.tracker.peek(old.digest) is None
+        assert manager.tracker.peek(young.digest) is not None

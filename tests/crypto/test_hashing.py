@@ -108,3 +108,52 @@ class TestShortHex:
         d = hash_bytes(b"z")
         assert d.hex().startswith(short_hex(d))
         assert len(short_hex(d, 12)) == 12
+
+
+class TestInternDigest:
+    def test_canonicalizes_equal_digests(self):
+        from repro.crypto.hashing import intern_digest
+
+        a = hash_bytes(b"block")
+        b = bytes(bytearray(a))  # equal value, distinct object
+        assert a is not b
+        assert intern_digest(a) is intern_digest(b)
+
+    def test_value_unchanged(self):
+        from repro.crypto.hashing import intern_digest
+
+        d = hash_bytes(b"x")
+        assert intern_digest(d) == d
+
+    def test_cap_clears_wholesale(self):
+        """When the table fills it is cleared, not grown — interning is a
+        best-effort space optimization, never an unbounded cache."""
+        from repro.crypto import hashing
+
+        saved = dict(hashing._intern_table)
+        try:
+            hashing._intern_table.clear()
+            hashing._intern_table.update(
+                {bytes([i % 256, i // 256]) * 16: bytes(32)
+                 for i in range(hashing._INTERN_CAP)}
+            )
+            fresh = hash_bytes(b"overflow")
+            assert hashing.intern_digest(fresh) is fresh
+            assert len(hashing._intern_table) == 1  # cleared, then re-seeded
+        finally:
+            hashing._intern_table.clear()
+            hashing._intern_table.update(saved)
+
+    def test_decoded_blocks_share_parent_digests(self):
+        """The codec routes parents through the intern table: decoding the
+        same block twice yields identical (not merely equal) parent refs."""
+        from repro.codec.blocks import block_from_bytes, block_to_bytes
+        from repro.dag.block import genesis_block, make_block
+
+        parents = [genesis_block(a).digest for a in range(4)]
+        wire = block_to_bytes(make_block(1, 0, parents))
+        first = block_from_bytes(wire)
+        second = block_from_bytes(wire)
+        for p, q in zip(first.parents, second.parents):
+            assert p is q
+        assert first.digest is second.digest

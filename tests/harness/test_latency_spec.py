@@ -1,0 +1,102 @@
+"""Latency-model spec strings end to end: config → runner → workers.
+
+``ExperimentConfig.latency_model`` is a plain string, so a spec like
+``"topology:clusters=8,loss=0.01"`` must (a) build the right model inside
+``run_experiment``, (b) survive pickling into the ``--jobs`` process pool
+bit-identically, and (c) fail eagerly at config time when it names an
+unknown model or knob.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.config import ExperimentConfig, ProtocolConfig, SystemConfig
+from repro.errors import ConfigError
+from repro.harness.parallel import run_sweep
+from repro.harness.runner import run_experiment
+from repro.net.latency import make_latency_model
+
+
+def spec_config(seed=0, spec="topology:clusters=4,jitter_frac=0.05",
+                n=4, duration=1.5, **kwargs):
+    return ExperimentConfig(
+        system=SystemConfig(n=n, crypto="hmac", seed=seed),
+        protocol=ProtocolConfig(batch_size=8),
+        duration=duration,
+        warmup=0.5,
+        cpu_fixed_us=0.0,
+        cpu_per_byte_ns=0.0,
+        latency_model=spec,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestSpecThroughRunner:
+    def test_run_experiment_accepts_spec_string(self):
+        result = run_experiment(spec_config())
+        assert result.rounds_reached > 0
+
+    def test_unknown_model_fails_eagerly(self):
+        with pytest.raises(ConfigError, match="unknown latency model"):
+            run_experiment(spec_config(spec="tachyon:warp=9"))
+
+    def test_unknown_knob_fails_eagerly(self):
+        with pytest.raises(ConfigError, match="does not accept"):
+            run_experiment(spec_config(spec="topology:warp=9"))
+
+    def test_spec_equivalent_to_explicit_kwargs(self):
+        """A spec string and the equivalent registered-name construction
+        produce the same model, hence bit-identical runs."""
+        by_spec = run_experiment(spec_config(seed=3))
+        again = run_experiment(spec_config(seed=3))
+        assert repr(by_spec) == repr(again)
+
+    def test_topology_bandwidth_spread_changes_schedule(self):
+        """bandwidth_spread flows through the harness into per-node NIC
+        rates — heterogeneous NICs must actually change the run."""
+        uniform = run_experiment(spec_config(seed=1))
+        spread = run_experiment(
+            spec_config(seed=1, spec="topology:clusters=4,jitter_frac=0.05,"
+                                     "bandwidth_spread=0.5")
+        )
+        assert repr(uniform) != repr(spread)
+
+
+class TestSpecThroughJobsPool:
+    def test_config_pickles_with_spec(self):
+        cfg = spec_config(spec="topology:clusters=8,loss=0.01,churn=1@5-9")
+        clone = pickle.loads(pickle.dumps(cfg))
+        assert clone.latency_model == cfg.latency_model
+        assert clone == cfg
+
+    def test_serial_equals_parallel_on_topology_spec(self):
+        configs = [
+            spec_config(seed=s, spec="topology:clusters=4,link_spread=0.2")
+            for s in range(3)
+        ]
+        serial = run_sweep(configs, jobs=1)
+        parallel = run_sweep(configs, jobs=3)
+        assert serial.ok and parallel.ok
+        assert repr(serial.results) == repr(parallel.results)
+
+    def test_track_memory_survives_the_pool(self):
+        cfg = dataclasses.replace(spec_config(seed=2), track_memory=True)
+        sweep = run_sweep([cfg], jobs=2)
+        assert sweep.ok
+        assert sweep.results[0].extras["peak_mem_mb"] > 0
+
+
+class TestSpecRoundTrip:
+    def test_model_attributes_match_spec(self):
+        model = make_latency_model(
+            "topology:clusters=8,loss=0.01,intra_loss=0.001,"
+            "bandwidth_spread=0.3,churn=2@10-20"
+        )
+        assert model.clusters == 8
+        assert model.loss == 0.01
+        assert model.intra_loss == 0.001
+        assert model.bandwidth_spread == 0.3
+        assert model.churn == ((2, 10.0, 20.0),)

@@ -1,0 +1,313 @@
+"""Tests for TopologyLatency, the model registry, and latency properties.
+
+Three concerns:
+
+* :class:`TopologyLatency` — the scale-out model: deterministic cluster
+  matrix, per-link heterogeneity, loss, churn windows, per-node NIC
+  scaling.
+* The factory layer — ``register_latency_model`` / ``parse_latency_spec``
+  / ``make_latency_model`` — including eager rejection of unknown knobs,
+  so a typo'd spec fails at config time rather than inside a sweep worker.
+* Distribution properties every registered model must honor (self-sends
+  are free, declared symmetry holds, factored jitter stays in bounds) —
+  hypothesis drives these across the parameter space.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.net.latency import (
+    LATENCY_MODELS,
+    FactoredLatency,
+    LatencyModel,
+    FixedLatency,
+    TopologyLatency,
+    UniformLatency,
+    WanLatency,
+    make_latency_model,
+    parse_latency_spec,
+    register_latency_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestTopologyMatrix:
+    def test_same_seed_same_planet(self):
+        a = TopologyLatency(clusters=6, topo_seed=3)
+        b = TopologyLatency(clusters=6, topo_seed=3)
+        assert a._matrix == b._matrix
+
+    def test_different_seed_different_matrix(self):
+        a = TopologyLatency(clusters=6, topo_seed=3)
+        b = TopologyLatency(clusters=6, topo_seed=4)
+        assert a._matrix != b._matrix
+
+    def test_matrix_symmetric_and_in_range(self):
+        model = TopologyLatency(clusters=8, inter_min=0.02, inter_max=0.2)
+        for a in range(8):
+            for b in range(8):
+                assert model._matrix[a][b] == model._matrix[b][a]
+                if a != b:
+                    assert 0.02 <= model._matrix[a][b] <= 0.2
+
+    def test_round_robin_placement(self):
+        model = TopologyLatency(clusters=5)
+        assert [model.cluster_of(i) for i in range(7)] == [0, 1, 2, 3, 4, 0, 1]
+
+    def test_intra_cluster_cheap(self, rng):
+        model = TopologyLatency(clusters=4, intra_delay=0.001, jitter_frac=0.0)
+        # replicas 0 and 4 share cluster 0; 0 and 1 do not.
+        assert model.delay(0, 4, rng) == 0.001
+        assert model.delay(0, 1, rng) >= 0.03
+
+    def test_link_spread_symmetric_and_bounded(self):
+        model = TopologyLatency(clusters=4, link_spread=0.3, jitter_frac=0.0)
+        flat = TopologyLatency(clusters=4, link_spread=0.0, jitter_frac=0.0)
+        for src, dst in [(0, 1), (2, 7), (3, 9)]:
+            base = flat.base_delay(src, dst)
+            spread = model.base_delay(src, dst)
+            assert spread == model.base_delay(dst, src)
+            assert base * 0.7 <= spread <= base * 1.3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TopologyLatency(clusters=0)
+        with pytest.raises(ConfigError):
+            TopologyLatency(inter_min=0.2, inter_max=0.1)
+        with pytest.raises(ConfigError):
+            TopologyLatency(jitter_frac=1.0)
+        with pytest.raises(ConfigError):
+            TopologyLatency(loss=1.0)
+        with pytest.raises(ConfigError):
+            TopologyLatency(link_spread=-0.1)
+
+
+class TestTopologyBandwidth:
+    def test_unit_scale_without_spread(self):
+        model = TopologyLatency(bandwidth_spread=0.0)
+        assert model.node_bandwidth_scale(3) == 1.0
+
+    def test_scale_bounded_and_deterministic(self):
+        model = TopologyLatency(bandwidth_spread=0.4, topo_seed=1)
+        again = TopologyLatency(bandwidth_spread=0.4, topo_seed=1)
+        scales = [model.node_bandwidth_scale(i) for i in range(32)]
+        assert scales == [again.node_bandwidth_scale(i) for i in range(32)]
+        assert all(0.6 <= s <= 1.4 for s in scales)
+        assert len(set(scales)) > 1  # actually heterogeneous
+
+
+class TestTopologyLossAndChurn:
+    def test_not_lossy_by_default(self):
+        assert TopologyLatency().lossy is False
+
+    def test_loss_makes_model_lossy(self):
+        assert TopologyLatency(loss=0.01).lossy is True
+        assert TopologyLatency(intra_loss=0.01).lossy is True
+        assert TopologyLatency(churn="0@1-2").lossy is True
+
+    def test_loss_rate_roughly_honored(self, rng):
+        model = TopologyLatency(clusters=4, loss=0.5)
+        drops = sum(
+            model.sample(0, 1, rng, now=0.0) is None for _ in range(2000)
+        )
+        assert 850 <= drops <= 1150  # binomial(2000, .5) well within 5 sigma
+
+    def test_intra_loss_separate_from_inter(self, rng):
+        model = TopologyLatency(clusters=4, loss=0.0, intra_loss=0.5)
+        # 0 -> 1 is inter-cluster: never dropped.
+        assert all(
+            model.sample(0, 1, rng, now=0.0) is not None for _ in range(200)
+        )
+        # 0 -> 4 shares cluster 0: dropped about half the time.
+        drops = sum(
+            model.sample(0, 4, rng, now=0.0) is None for _ in range(2000)
+        )
+        assert 850 <= drops <= 1150
+
+    def test_churn_window_string_format(self):
+        model = TopologyLatency(churn="5@10-20+7@30-40")
+        assert model.churn == ((5, 10.0, 20.0), (7, 30.0, 40.0))
+
+    def test_churn_blocks_both_directions_inside_window(self, rng):
+        model = TopologyLatency(churn=((1, 10.0, 20.0),))
+        assert model.sample(0, 1, rng, now=15.0) is None
+        assert model.sample(1, 0, rng, now=15.0) is None
+        assert model.sample(0, 2, rng, now=15.0) is not None
+        # Outside the window the link works again.
+        assert model.sample(0, 1, rng, now=25.0) is not None
+        assert model.sample(0, 1, rng, now=5.0) is not None
+
+    def test_bad_churn_rejected(self):
+        with pytest.raises(ConfigError):
+            TopologyLatency(churn="5@20-10")
+        with pytest.raises(ConfigError):
+            TopologyLatency(churn="garbage")
+        with pytest.raises(ConfigError):
+            TopologyLatency(churn=((1, 2),))
+
+
+class TestSpecParsing:
+    def test_bare_name(self):
+        assert parse_latency_spec("wan4") == ("wan4", {})
+
+    def test_kwargs_coerced(self):
+        name, kwargs = parse_latency_spec(
+            "topology:clusters=8,loss=0.01,churn=5@10-20"
+        )
+        assert name == "topology"
+        assert kwargs == {"clusters": 8, "loss": 0.01, "churn": "5@10-20"}
+
+    def test_bool_coercion(self):
+        assert parse_latency_spec("x:flag=true")[1] == {"flag": True}
+        assert parse_latency_spec("x:flag=False")[1] == {"flag": False}
+
+    def test_bad_fragment(self):
+        with pytest.raises(ConfigError):
+            parse_latency_spec("topology:clusters")
+        with pytest.raises(ConfigError):
+            parse_latency_spec(":a=1")
+
+
+class TestFactoryRegistry:
+    def test_builtin_names_registered(self):
+        for name in ("fixed", "uniform", "wan4", "lan", "topology"):
+            assert name in LATENCY_MODELS
+
+    def test_spec_string_builds_configured_model(self):
+        model = make_latency_model("topology:clusters=8,loss=0.01")
+        assert isinstance(model, TopologyLatency)
+        assert model.clusters == 8
+        assert model.loss == 0.01
+
+    def test_explicit_kwargs_override_inline(self):
+        model = make_latency_model("topology:clusters=8", clusters=16)
+        assert model.clusters == 16
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigError, match="unknown latency model"):
+            make_latency_model("tachyon")
+
+    def test_unknown_knob_rejected_eagerly(self):
+        with pytest.raises(ConfigError, match="does not accept"):
+            make_latency_model("topology:warp=9")
+        with pytest.raises(ConfigError, match="does not accept"):
+            make_latency_model("wan4:clusters=8")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            register_latency_model("wan4", WanLatency)
+
+    def test_registration_decorator(self):
+        @register_latency_model("_test_only")
+        def _factory(delay_s: float = 0.5):
+            return FixedLatency(delay_s=delay_s)
+
+        try:
+            model = make_latency_model("_test_only:delay_s=0.25")
+            assert model.delay_s == 0.25
+        finally:
+            del LATENCY_MODELS["_test_only"]
+
+
+class TestMeanDelayMemoization:
+    def test_generic_fallback_is_cached(self):
+        calls = []
+
+        class Probe(LatencyModel):
+            def delay(self, src, dst, rng):
+                calls.append((src, dst))
+                return 0.0 if src == dst else rng.uniform(0.0, 0.1)
+
+        model = Probe()
+        first = model.mean_delay(0, 1)
+        assert len(calls) == 64  # the Monte-Carlo probe ran once
+        assert model.mean_delay(0, 1) == first
+        assert len(calls) == 64  # ...and never again
+        assert first == pytest.approx(0.05, rel=0.3)
+        # A different pair gets its own probe (and its own cache slot).
+        model.mean_delay(0, 2)
+        assert len(calls) == 128
+        model.mean_delay(0, 2)
+        assert len(calls) == 128
+
+    def test_closed_forms_exact(self):
+        assert UniformLatency(0.0, 0.1).mean_delay(0, 1) == 0.05
+        # FactoredLatency overrides with the exact base.
+        assert WanLatency(jitter_frac=0.2).mean_delay(0, 1) == (
+            WanLatency().base_delay(0, 1)
+        )
+        assert TopologyLatency().mean_delay(0, 0) == 0.0
+
+
+# ----------------------------------------------------------- properties
+
+def _all_models():
+    return [
+        FixedLatency(0.05),
+        UniformLatency(0.01, 0.1),
+        WanLatency(jitter_frac=0.1),
+        TopologyLatency(clusters=4, jitter_frac=0.1, link_spread=0.2),
+        TopologyLatency(clusters=7, jitter_frac=0.0, topo_seed=2),
+    ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    replica=st.integers(min_value=0, max_value=99),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_self_send_is_free(replica, seed):
+    rng = random.Random(seed)
+    for model in _all_models():
+        assert model.delay(replica, replica, rng) == 0.0
+        assert model.mean_delay(replica, replica) == 0.0
+        if model.lossy:
+            assert model.sample(replica, replica, rng, now=0.0) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=99),
+    dst=st.integers(min_value=0, max_value=99),
+)
+def test_property_declared_symmetry_holds(src, dst):
+    for model in _all_models():
+        if model.symmetric:
+            assert model.mean_delay(src, dst) == pytest.approx(
+                model.mean_delay(dst, src)
+            )
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    src=st.integers(min_value=0, max_value=63),
+    dst=st.integers(min_value=0, max_value=63),
+    seed=st.integers(min_value=0, max_value=2**16),
+    jitter=st.floats(min_value=0.0, max_value=0.5),
+    clusters=st.integers(min_value=1, max_value=12),
+)
+def test_property_factored_jitter_stays_in_bounds(
+    src, dst, seed, jitter, clusters
+):
+    """Per-message draws of any factored model land in base * (1 ± jitter),
+    and never go negative."""
+    rng = random.Random(seed)
+    models = [
+        WanLatency(jitter_frac=jitter),
+        TopologyLatency(clusters=clusters, jitter_frac=jitter),
+    ]
+    for model in models:
+        assert isinstance(model, FactoredLatency)
+        base = model.base_delay(src, dst)
+        for _ in range(4):
+            d = model.delay(src, dst, rng)
+            assert d >= 0.0
+            assert base * (1 - jitter) - 1e-12 <= d <= base * (1 + jitter) + 1e-12
